@@ -1,0 +1,347 @@
+// Package adapt is the adaptation coordinator of the paper: an extra
+// process that periodically collects per-processor statistics
+// (communication and idle time fractions plus benchmarked speeds),
+// computes the weighted average efficiency, and keeps it between the
+// E_min/E_max thresholds by asking the grid scheduler for nodes or
+// signalling the worst nodes to leave — all without any application
+// performance model.
+//
+// The same decision engine also drives the discrete-event simulator
+// (package grid); this package runs it against the real work-stealing
+// runtime (package satin) over a transport fabric and an Ibis-style
+// registry.
+package adapt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/registry"
+	"repro/internal/transport"
+)
+
+// Re-exported core types so downstream users need only this package.
+type (
+	// NodeID identifies a processor.
+	NodeID = core.NodeID
+	// ClusterID identifies a site.
+	ClusterID = core.ClusterID
+	// NodeStats is one processor's per-period statistics.
+	NodeStats = core.NodeStats
+	// Thresholds holds E_min/E_max and the badness coefficients.
+	Thresholds = core.Config
+	// Decision is the engine's verdict for one monitoring period.
+	Decision = core.Decision
+	// Requirements is the learned blacklist + minimum bandwidth.
+	Requirements = core.Requirements
+)
+
+// DefaultThresholds returns the paper's configuration: E_min 0.30,
+// E_max 0.50, α/β/γ badness weights, 25% cluster-drop threshold.
+func DefaultThresholds() Thresholds { return core.DefaultConfig() }
+
+// WeightedAverageEfficiency re-exports the paper's metric.
+func WeightedAverageEfficiency(stats []NodeStats) float64 {
+	return core.WeightedAverageEfficiency(stats)
+}
+
+// Provisioner supplies processors — the grid scheduler's role
+// (satin.Grid implements it).
+type Provisioner interface {
+	// Provision starts up to n new nodes, skipping any the veto
+	// rejects, and returns how many actually started.
+	Provision(n int, veto func(NodeID, ClusterID) bool) int
+}
+
+// EndpointName is the coordinator's well-known transport endpoint.
+const EndpointName = "coordinator"
+
+// Config tunes the coordinator.
+type Config struct {
+	// Thresholds configure the decision engine (DefaultThresholds()).
+	Thresholds Thresholds
+	// Period is the monitoring period. Nodes report on their own
+	// clocks; the coordinator decides once per period on whatever
+	// reports are in (the paper tolerates the skew explicitly).
+	Period time.Duration
+	// Protected nodes are never removed — the node hosting the root of
+	// the computation (and, in the paper's deployment, the process the
+	// user started).
+	Protected []NodeID
+	// MonitorOnly computes and records but never acts ("runtime 3").
+	MonitorOnly bool
+}
+
+// PeriodRecord is one coordinator tick, kept for inspection.
+type PeriodRecord struct {
+	Time    time.Time
+	WAE     float64
+	Nodes   int
+	Action  string
+	Detail  string
+	Added   int
+	Removed int
+}
+
+// Coordinator is the running adaptation process.
+type Coordinator struct {
+	cfg  Config
+	eng  *core.Engine
+	reqs *core.Requirements
+	prov Provisioner
+	ep   transport.Endpoint
+	reg  *registry.Client
+
+	mu        sync.Mutex
+	reports   map[NodeID]metrics.Report
+	history   []PeriodRecord
+	protected map[NodeID]bool
+	messages  int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Start launches the coordinator on the fabric. It joins the registry
+// with an empty cluster, which marks it as a non-worker (nodes never
+// steal from it).
+func Start(f transport.Fabric, prov Provisioner, cfg Config) (*Coordinator, error) {
+	if cfg.Period == 0 {
+		cfg.Period = 2 * time.Second
+	}
+	if cfg.Thresholds == (Thresholds{}) {
+		cfg.Thresholds = DefaultThresholds()
+	}
+	eng, err := core.NewEngine(cfg.Thresholds)
+	if err != nil {
+		return nil, err
+	}
+	ep, err := f.Endpoint(EndpointName)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := registry.Join(f, registry.NodeInfo{ID: EndpointName, Cluster: ""}, registry.Options{})
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:       cfg,
+		eng:       eng,
+		reqs:      core.NewRequirements(),
+		prov:      prov,
+		ep:        ep,
+		reg:       reg,
+		reports:   make(map[NodeID]metrics.Report),
+		protected: make(map[NodeID]bool),
+		stop:      make(chan struct{}),
+	}
+	for _, id := range cfg.Protected {
+		c.protected[id] = true
+	}
+	ep.SetHandler(c.handle)
+	c.wg.Add(1)
+	go c.loop()
+	return c, nil
+}
+
+// Stop shuts the coordinator down. Safe to call multiple times and
+// from concurrent goroutines.
+func (c *Coordinator) Stop() {
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		c.wg.Wait()
+		c.reg.Close()
+		c.ep.Close()
+	})
+}
+
+// Protect marks a node as unremovable (e.g. after electing a new root
+// host).
+func (c *Coordinator) Protect(id NodeID) {
+	c.mu.Lock()
+	c.protected[id] = true
+	c.mu.Unlock()
+}
+
+// History returns the period records so far.
+func (c *Coordinator) History() []PeriodRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]PeriodRecord(nil), c.history...)
+}
+
+// Requirements exposes what the run has taught the coordinator.
+func (c *Coordinator) Requirements() *Requirements { return c.reqs }
+
+func (c *Coordinator) handle(msg transport.Message) {
+	switch msg.Kind {
+	case "report":
+		var rep metrics.Report
+		if transport.Decode(msg.Payload, &rep) != nil {
+			return
+		}
+		c.mu.Lock()
+		c.reports[rep.Node] = rep
+		c.messages++
+		c.mu.Unlock()
+	case "report-batch":
+		// Batched reports from a per-cluster sub-coordinator (the
+		// hierarchical deployment of the paper's §7). The batch keeps
+		// only each node's freshest report.
+		var batch reportBatch
+		if transport.Decode(msg.Payload, &batch) != nil {
+			return
+		}
+		c.mu.Lock()
+		for _, rep := range batch.Reports {
+			if cur, ok := c.reports[rep.Node]; !ok || rep.End >= cur.End {
+				c.reports[rep.Node] = rep
+			}
+		}
+		c.messages++
+		c.mu.Unlock()
+	}
+}
+
+// MessagesReceived counts report messages (single or batched) the main
+// coordinator handled — the load the §7 hierarchy is designed to cut.
+func (c *Coordinator) MessagesReceived() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.messages
+}
+
+func (c *Coordinator) loop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.Period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.tick()
+		}
+	}
+}
+
+// tick is one pass of the paper's Figure-2 loop.
+func (c *Coordinator) tick() {
+	// Live workers according to the registry; reports of departed
+	// nodes are dropped, reports of new nodes may be missing — both
+	// tolerated, as in the paper.
+	live := make(map[NodeID]registry.NodeInfo)
+	for _, m := range c.reg.Members() {
+		if m.Cluster != "" {
+			live[m.ID] = m
+		}
+	}
+	c.mu.Lock()
+	var stats []NodeStats
+	for id, rep := range c.reports {
+		if _, ok := live[id]; ok {
+			stats = append(stats, rep.Stats())
+		} else {
+			delete(c.reports, id)
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Node < stats[j].Node })
+
+	rec := PeriodRecord{Time: time.Now(), Nodes: len(live)}
+	if len(stats) == 0 {
+		c.mu.Lock()
+		c.history = append(c.history, rec)
+		c.mu.Unlock()
+		return
+	}
+
+	d := c.eng.Decide(stats)
+	rec.WAE = d.WAE
+	rec.Action = d.Action.String()
+	rec.Detail = d.Reason
+	if !c.cfg.MonitorOnly {
+		acted := false
+		switch d.Action {
+		case core.ActionAdd:
+			rec.Added = c.prov.Provision(d.AddCount, c.veto)
+			acted = rec.Added > 0
+		case core.ActionRemoveNodes:
+			rec.Removed = c.evict(d.RemoveNodes, "badness")
+			acted = rec.Removed > 0
+		case core.ActionRemoveCluster:
+			if bw := c.observedBandwidth(d.RemoveCluster); bw > 0 {
+				c.reqs.LearnMinBandwidth(bw)
+			}
+			removed := c.evict(d.RemoveNodes, "cluster uplink saturated")
+			if removed > 0 {
+				c.reqs.BlacklistCluster(d.RemoveCluster,
+					fmt.Sprintf("inter-cluster overhead %.0f%%", d.ClusterInterComm*100))
+			}
+			rec.Removed = removed
+			acted = removed > 0
+		}
+		if acted {
+			// The stored reports describe the pre-action configuration;
+			// deciding on them again would chain actions off stale data
+			// (e.g. evicting a second cluster for overhead the first
+			// one caused). Start the next period fresh.
+			c.mu.Lock()
+			c.reports = make(map[NodeID]metrics.Report)
+			c.mu.Unlock()
+		}
+	}
+	c.mu.Lock()
+	c.history = append(c.history, rec)
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) veto(node NodeID, cluster ClusterID) bool {
+	return c.reqs.NodeBlacklisted(node, cluster)
+}
+
+func (c *Coordinator) evict(victims []NodeID, reason string) int {
+	c.mu.Lock()
+	protected := make(map[NodeID]bool, len(c.protected))
+	for id := range c.protected {
+		protected[id] = true
+	}
+	c.mu.Unlock()
+	removed := 0
+	for _, id := range victims {
+		if protected[id] {
+			continue
+		}
+		if err := c.reg.Signal(id, "leave"); err != nil {
+			continue
+		}
+		c.reqs.BlacklistNode(id, reason)
+		c.mu.Lock()
+		delete(c.reports, id)
+		c.mu.Unlock()
+		removed++
+	}
+	return removed
+}
+
+func (c *Coordinator) observedBandwidth(cluster ClusterID) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sum, n := 0.0, 0
+	for _, rep := range c.reports {
+		if rep.Cluster == cluster && rep.InterBandwidth > 0 {
+			sum += rep.InterBandwidth
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

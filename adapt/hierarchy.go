@@ -1,0 +1,121 @@
+package adapt
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// SubCoordinator is the paper's §7 answer to the coordinator becoming
+// a bottleneck on very large node counts: "a hierarchy of
+// coordinators, one sub-coordinator per cluster which collects and
+// processes statistics from its cluster, and one main coordinator
+// which collects the information from the sub-coordinators."
+//
+// A SubCoordinator owns one cluster's endpoint; its nodes send their
+// per-period reports there, and once per period the batch travels to
+// the main coordinator as a single message, cutting the main
+// coordinator's message load from O(nodes) to O(clusters) per period.
+type SubCoordinator struct {
+	cluster ClusterID
+	ep      transport.Endpoint
+	main    string
+	period  time.Duration
+
+	mu      sync.Mutex
+	pending []metrics.Report
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// SubEndpointName is the per-cluster endpoint the cluster's nodes
+// report to when running hierarchically.
+func SubEndpointName(cluster ClusterID) string {
+	return EndpointName + "/" + string(cluster)
+}
+
+// reportBatch is the wire format from sub to main.
+type reportBatch struct {
+	Cluster ClusterID
+	Reports []metrics.Report
+}
+
+// StartSub launches a sub-coordinator for one cluster, forwarding to
+// the main coordinator's endpoint every period.
+func StartSub(f transport.Fabric, cluster ClusterID, period time.Duration) (*SubCoordinator, error) {
+	if period == 0 {
+		period = 2 * time.Second
+	}
+	ep, err := f.Endpoint(SubEndpointName(cluster))
+	if err != nil {
+		return nil, err
+	}
+	sc := &SubCoordinator{
+		cluster: cluster,
+		ep:      ep,
+		main:    EndpointName,
+		period:  period,
+		stop:    make(chan struct{}),
+	}
+	ep.SetHandler(sc.handle)
+	sc.wg.Add(1)
+	go sc.loop()
+	return sc, nil
+}
+
+// Stop shuts the sub-coordinator down, flushing pending reports.
+// Safe to call multiple times and from concurrent goroutines.
+func (sc *SubCoordinator) Stop() {
+	sc.stopOnce.Do(func() {
+		close(sc.stop)
+		sc.wg.Wait()
+		sc.flush()
+		sc.ep.Close()
+	})
+}
+
+func (sc *SubCoordinator) handle(msg transport.Message) {
+	if msg.Kind != "report" {
+		return
+	}
+	var rep metrics.Report
+	if transport.Decode(msg.Payload, &rep) != nil {
+		return
+	}
+	sc.mu.Lock()
+	sc.pending = append(sc.pending, rep)
+	sc.mu.Unlock()
+}
+
+func (sc *SubCoordinator) loop() {
+	defer sc.wg.Done()
+	ticker := time.NewTicker(sc.period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sc.stop:
+			return
+		case <-ticker.C:
+			sc.flush()
+		}
+	}
+}
+
+func (sc *SubCoordinator) flush() {
+	sc.mu.Lock()
+	batch := sc.pending
+	sc.pending = nil
+	sc.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	payload, err := transport.Encode(reportBatch{Cluster: sc.cluster, Reports: batch})
+	if err != nil {
+		return
+	}
+	sc.ep.Send(sc.main, "report-batch", payload)
+}

@@ -1,0 +1,150 @@
+// Command gridsim reproduces the paper's evaluation: it runs the
+// Barnes-Hut scenarios on the simulated DAS-2 grid in the requested
+// variants and prints the runtime table (Figure 1), the coordinator's
+// period log, and the per-iteration series (Figures 3–7), optionally
+// exporting the series as CSV.
+//
+// Usage:
+//
+//	gridsim -scenario all              # every scenario, all variants
+//	gridsim -scenario 4 -periods      # one scenario with the WAE log
+//	gridsim -scenario all -csv out/   # also write figure CSV data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/des"
+	"repro/internal/expt"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "all", "scenario id (1, 2a..2c, 3..7) or 'all'")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		csvDir   = flag.String("csv", "", "directory to write per-scenario iteration CSVs")
+		svgDir   = flag.String("svg", "", "directory to write per-scenario figure SVGs")
+		periods  = flag.Bool("periods", false, "print the adaptive coordinator's period log")
+		list     = flag.Bool("list", false, "list scenarios and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range expt.All() {
+			fmt.Printf("%-3s %-32s %s\n", sc.ID, sc.Name, sc.Figure)
+		}
+		return
+	}
+
+	var scenarios []expt.Scenario
+	if *scenario == "all" {
+		scenarios = expt.All()
+	} else {
+		sc, ok := expt.ByID(*scenario)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gridsim: unknown scenario %q (try -list)\n", *scenario)
+			os.Exit(2)
+		}
+		scenarios = []expt.Scenario{sc}
+	}
+
+	var rows []trace.RuntimeRow
+	for _, sc := range scenarios {
+		sc.Seed = *seed
+		fmt.Printf("=== scenario %s: %s (%s)\n", sc.ID, sc.Name, sc.Figure)
+		fmt.Printf("    %s\n", sc.Description)
+		out, err := expt.Run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
+			os.Exit(1)
+		}
+		na := out.Results[expt.NoAdapt]
+		ad := out.Results[expt.Adaptive]
+		mo := out.Results[expt.MonitorOnly]
+		rows = append(rows, trace.RuntimeRow{
+			Label:       fmt.Sprintf("%s %s", sc.ID, sc.Name),
+			NoAdapt:     na.Runtime,
+			Adaptive:    ad.Runtime,
+			MonitorOnly: mo.Runtime,
+		})
+		fmt.Printf("    runtime: no-adapt %.0f s | adaptive %.0f s | monitor-only %.0f s | improvement %.0f%%\n",
+			na.Runtime, ad.Runtime, mo.Runtime, out.Improvement()*100)
+		fmt.Printf("    nodes: adaptive final %d (peak %d) | iterations no-adapt %s\n",
+			ad.FinalNodes, ad.PeakNodes, trace.Sparkline(na, 60))
+		fmt.Printf("    %36s adaptive %s\n", "", trace.Sparkline(ad, 60))
+		if len(ad.Annotations) > 0 {
+			fmt.Println("    timeline:")
+			trace.WriteAnnotations(prefixWriter{"      "}, ad)
+		}
+		if *periods {
+			trace.WritePeriods(prefixWriter{"      "}, ad)
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, sc.ID, out); err != nil {
+				fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *svgDir != "" {
+			if err := writeSVG(*svgDir, sc, out); err != nil {
+				fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("=== Figure 1: runtimes per scenario")
+	trace.WriteRuntimeTable(os.Stdout, rows)
+}
+
+func writeCSV(dir, id string, out *expt.Outcome) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("scenario-%s-iterations.csv", id)))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	m := make(map[string]*des.Result, len(out.Results))
+	for v, r := range out.Results {
+		m[string(v)] = r
+	}
+	trace.WriteIterationsCSV(f, m)
+	return nil
+}
+
+func writeSVG(dir string, sc expt.Scenario, out *expt.Outcome) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("scenario-%s.svg", sc.ID)))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	m := make(map[string]*des.Result, len(out.Results))
+	for v, r := range out.Results {
+		if v == expt.MonitorOnly {
+			continue // the figures plot the NA vs AD series
+		}
+		m[string(v)] = r
+	}
+	trace.WriteIterationsSVG(f, fmt.Sprintf("Scenario %s: %s", sc.ID, sc.Name), m)
+	return nil
+}
+
+// prefixWriter indents each output chunk; adequate for line-oriented
+// renderers that write whole lines per call.
+type prefixWriter struct{ prefix string }
+
+func (p prefixWriter) Write(b []byte) (int, error) {
+	os.Stdout.WriteString(p.prefix)
+	n, err := os.Stdout.Write(b)
+	return n, err
+}

@@ -1,0 +1,196 @@
+// Command satinrun executes a divide-and-conquer application on the
+// real satin runtime: an emulated multi-cluster grid of worker nodes
+// with cluster-aware random work stealing, optionally watched by the
+// adaptation coordinator, optionally with a throttled cluster link or
+// a competing CPU load — the paper's system end to end, in one
+// process.
+//
+// Examples:
+//
+//	satinrun -app fib -size 26 -clusters 2 -nodes 4
+//	satinrun -app nqueens -size 10 -clusters 3 -nodes 2
+//	satinrun -app barneshut -size 2000 -iters 5
+//	satinrun -app fib -adapt -iters 30 -shape fs1=5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/adapt"
+	"repro/internal/apps"
+	"repro/satin"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "fib", "fib | nqueens | integrate | tsp | knapsack | barneshut")
+		size     = flag.Int("size", 24, "problem size (fib N, queens N, tsp cities, bodies)")
+		clusters = flag.Int("clusters", 2, "number of emulated clusters")
+		nodes    = flag.Int("nodes", 4, "nodes per cluster")
+		iters    = flag.Int("iters", 1, "repetitions (iterative application)")
+		adaptOn  = flag.Bool("adapt", false, "run the adaptation coordinator")
+		period   = flag.Duration("period", 500*time.Millisecond, "monitoring period")
+		shape    = flag.String("shape", "", "throttle a cluster's WAN link: fs1=5000 (bytes/s)")
+		load     = flag.String("load", "", "competing CPU load on a cluster: fs1=3")
+		verbose  = flag.Bool("v", false, "print per-node statistics")
+	)
+	flag.Parse()
+	if *clusters < 1 || *nodes < 1 || *iters < 1 {
+		fmt.Fprintln(os.Stderr, "satinrun: -clusters, -nodes and -iters must be >= 1")
+		os.Exit(2)
+	}
+
+	var specs []satin.ClusterSpec
+	for i := 0; i < *clusters; i++ {
+		specs = append(specs, satin.ClusterSpec{
+			Name: satin.ClusterID(fmt.Sprintf("fs%d", i)), Nodes: *nodes * 2,
+		})
+	}
+	g, err := satin.NewGrid(satin.GridConfig{
+		Clusters: specs,
+		Node: satin.NodeConfig{
+			Coordinator:   coordName(*adaptOn),
+			MonitorPeriod: *period,
+			Bench:         apps.Fib{N: 18, SeqCutoff: 18},
+			BenchWork:     float64(apps.FibLeaves(18)),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+	for _, c := range specs {
+		if _, err := g.StartNodes(c.Name, *nodes); err != nil {
+			log.Fatal(err)
+		}
+	}
+	master := g.Node("fs0/00")
+
+	var coord *adapt.Coordinator
+	if *adaptOn {
+		coord, err = adapt.Start(g.Fabric(), g, adapt.Config{
+			Period:    *period,
+			Protected: []adapt.NodeID{master.ID()},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer coord.Stop()
+	}
+	applyDisturbance(g, *shape, *load)
+
+	task, check := buildTask(*app, *size)
+	fmt.Printf("%s(size %d) on %d nodes in %d clusters, %d iteration(s)\n",
+		*app, *size, *clusters**nodes, *clusters, *iters)
+	total := time.Duration(0)
+	for i := 0; i < *iters; i++ {
+		start := time.Now()
+		val, err := master.Run(task)
+		if err != nil {
+			log.Fatal(err)
+		}
+		el := time.Since(start)
+		total += el
+		ok := ""
+		if check != nil {
+			if check(val) {
+				ok = "result ok"
+			} else {
+				ok = fmt.Sprintf("WRONG RESULT: %v", val)
+			}
+		}
+		fmt.Printf("  iteration %2d: %8v (%2d nodes) %s\n",
+			i, el.Round(time.Millisecond), g.NodeCount(), ok)
+	}
+	fmt.Printf("total: %v, mean %v/iteration\n",
+		total.Round(time.Millisecond), (total / time.Duration(*iters)).Round(time.Millisecond))
+
+	if *verbose {
+		ns := g.Nodes()
+		sort.Slice(ns, func(i, j int) bool { return ns[i].ID() < ns[j].ID() })
+		fmt.Println("per-node statistics:")
+		for _, n := range ns {
+			rep := n.Report()
+			fmt.Printf("  %-10s busy=%.2fs intra=%.2fs inter=%.2fs bench=%.2fs speed=%.0f\n",
+				n.ID(), rep.BusySec, rep.IntraSec, rep.InterSec, rep.BenchSec, rep.Speed)
+		}
+	}
+	if coord != nil {
+		fmt.Println("coordinator history:")
+		for _, h := range coord.History() {
+			fmt.Printf("  WAE=%.3f nodes=%2d action=%-14s +%d -%d\n",
+				h.WAE, h.Nodes, h.Action, h.Added, h.Removed)
+		}
+		fmt.Printf("learned: %s\n", coord.Requirements())
+	}
+}
+
+func coordName(on bool) string {
+	if on {
+		return adapt.EndpointName
+	}
+	return ""
+}
+
+func applyDisturbance(g *satin.Grid, shape, load string) {
+	if shape != "" {
+		cluster, v := splitKV(shape)
+		g.Shape(satin.ClusterID(cluster), v)
+		fmt.Printf("throttled %s WAN link to %.0f B/s\n", cluster, v)
+	}
+	if load != "" {
+		cluster, v := splitKV(load)
+		g.SetClusterLoad(satin.ClusterID(cluster), v)
+		fmt.Printf("competing load %.1fx on %s\n", v, cluster)
+	}
+}
+
+func splitKV(s string) (string, float64) {
+	parts := strings.SplitN(s, "=", 2)
+	if len(parts) != 2 {
+		fmt.Fprintf(os.Stderr, "satinrun: expected cluster=value, got %q\n", s)
+		os.Exit(2)
+	}
+	v, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "satinrun: bad value in %q: %v\n", s, err)
+		os.Exit(2)
+	}
+	return parts[0], v
+}
+
+func buildTask(app string, size int) (satin.Task, func(any) bool) {
+	switch app {
+	case "fib":
+		want := apps.FibLeaves(size)
+		return apps.Fib{N: size, SeqCutoff: 12, LeafDelay: 3 * time.Millisecond},
+			func(v any) bool { return v.(int) == want }
+	case "nqueens":
+		want := apps.QueensSolutions(size)
+		return apps.NQueens{N: size, SpawnDepth: 3},
+			func(v any) bool { return want < 0 || v.(int) == want }
+	case "integrate":
+		return apps.Integrate{Fn: "spiky", A: -3, B: 3, Eps: 1e-10}, nil
+	case "tsp":
+		return apps.NewTSP(apps.RandomCities(size, 42), 3), nil
+	case "knapsack":
+		k := apps.RandomKnapsack(size, 42)
+		want := apps.KnapsackDP(k.Weights, k.Values, k.Capacity)
+		return k, func(v any) bool { return v.(int) == want }
+	case "barneshut":
+		bodies := apps.Plummer(size, 42)
+		return apps.BHForces{Bodies: bodies, Lo: 0, Hi: len(bodies), Theta: 0.5, Grain: 128},
+			func(v any) bool { return len(v.([]apps.Accel)) == len(bodies) }
+	default:
+		fmt.Fprintf(os.Stderr, "satinrun: unknown app %q\n", app)
+		os.Exit(2)
+		return nil, nil
+	}
+}

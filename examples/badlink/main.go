@@ -1,0 +1,87 @@
+// The paper's overloaded-network-link scenario on the REAL runtime:
+// three emulated clusters run an iterative computation while the
+// adaptation coordinator watches; one cluster's WAN link is throttled
+// hard, its nodes' inter-cluster overhead explodes, and the
+// coordinator evicts them and backfills from healthy clusters.
+//
+//	go run ./examples/badlink
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/adapt"
+	"repro/internal/apps"
+	"repro/satin"
+)
+
+func main() {
+	period := 500 * time.Millisecond
+	g, err := satin.NewGrid(satin.GridConfig{
+		Clusters: []satin.ClusterSpec{
+			{Name: "fs0", Nodes: 8},
+			{Name: "fs1", Nodes: 8},
+			{Name: "fs2", Nodes: 4},
+		},
+		Node: satin.NodeConfig{
+			Coordinator:   adapt.EndpointName,
+			MonitorPeriod: period,
+			Bench:         apps.Fib{N: 17, SeqCutoff: 17},
+			BenchWork:     float64(apps.FibLeaves(17)),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+	for _, c := range []satin.ClusterID{"fs0", "fs1", "fs2"} {
+		if _, err := g.StartNodes(c, 4); err != nil {
+			log.Fatal(err)
+		}
+	}
+	master := g.Node("fs0/00")
+
+	coord, err := adapt.Start(g.Fabric(), g, adapt.Config{
+		Period:    period,
+		Protected: []adapt.NodeID{master.ID()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coord.Stop()
+
+	fmt.Println("12 nodes / 3 clusters; throttling fs2's WAN link to 5 KB/s at t=1s")
+	time.AfterFunc(time.Second, func() { g.Shape("fs2", 5e3) })
+
+	stop := time.After(8 * time.Second)
+	iter := 0
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\ncoordinator history:")
+			for _, h := range coord.History() {
+				fmt.Printf("  WAE=%.3f nodes=%2d action=%-14s +%d -%d  %s\n",
+					h.WAE, h.Nodes, h.Action, h.Added, h.Removed, h.Detail)
+			}
+			fmt.Printf("\nlearned requirements: %s\n", coord.Requirements())
+			left := map[satin.ClusterID]int{}
+			for _, n := range g.Nodes() {
+				left[n.Cluster()]++
+			}
+			fmt.Printf("final allocation per cluster: %v\n", left)
+			return
+		default:
+		}
+		start := time.Now()
+		fut := master.Submit(apps.Fib{N: 22, SeqCutoff: 12, LeafDelay: 5 * time.Millisecond})
+		fut.Wait()
+		if _, err := fut.Result(); err != nil {
+			log.Fatal(err)
+		}
+		iter++
+		fmt.Printf("  iteration %2d: %7v  (%d nodes)\n",
+			iter, time.Since(start).Round(time.Millisecond), g.NodeCount())
+	}
+}

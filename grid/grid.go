@@ -1,0 +1,135 @@
+// Package grid is the simulation face of the library: it builds
+// heterogeneous multi-cluster topologies (including the DAS-2 system
+// of the paper's evaluation), describes iterative divide-and-conquer
+// workloads, runs them on a deterministic discrete-event simulator
+// with or without the adaptation coordinator, and ships the paper's
+// six evaluation scenarios ready to reproduce.
+//
+// Quick start:
+//
+//	p := grid.Params{
+//		Topo: grid.DAS2(),
+//		Spec: grid.BarnesHut(100000, 30),
+//		Seed: 42,
+//		Initial: []grid.Alloc{{Cluster: "fs0", Count: 12}},
+//	}
+//	p.Mon = grid.DefaultMonitor()
+//	th := grid.DefaultThresholds()
+//	p.Adapt = &th
+//	res, err := grid.Simulate(p)
+//
+// The per-iteration durations, coordinator periods and annotations in
+// the Result are what the paper's Figures 3–7 plot.
+package grid
+
+import (
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/expt"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// Topology types.
+type (
+	// Topology is a set of clusters joined by a WAN.
+	Topology = topo.Topology
+	// Cluster is one site: nodes, speeds, LAN, uplink.
+	Cluster = topo.Cluster
+	// NodeID identifies a processor.
+	NodeID = core.NodeID
+	// ClusterID identifies a site.
+	ClusterID = core.ClusterID
+)
+
+// Workload types.
+type (
+	// Workload describes an iterative divide-and-conquer application.
+	Workload = workload.Spec
+)
+
+// Simulation types.
+type (
+	// Params configures one simulated run.
+	Params = des.Params
+	// Result is everything a run produces.
+	Result = des.Result
+	// Alloc is part of an initial allocation.
+	Alloc = des.Alloc
+	// MonitorParams tunes monitoring and benchmarking.
+	MonitorParams = des.MonitorParams
+	// Injection disturbs the environment mid-run.
+	Injection = des.Injection
+	// IterRecord is one application iteration.
+	IterRecord = des.IterRecord
+	// PeriodRecord is one coordinator tick.
+	PeriodRecord = des.PeriodRecord
+	// Thresholds is the adaptation configuration (E_min/E_max, α β γ).
+	Thresholds = core.Config
+)
+
+// Injection kinds.
+const (
+	// InjSetLoad puts a competing CPU load on nodes.
+	InjSetLoad = des.InjSetLoad
+	// InjShapeUplink changes a cluster's uplink bandwidth.
+	InjShapeUplink = des.InjShapeUplink
+	// InjCrash fails nodes abruptly.
+	InjCrash = des.InjCrash
+)
+
+// Experiment types.
+type (
+	// Scenario is one experiment of the paper's evaluation.
+	Scenario = expt.Scenario
+	// Outcome holds a scenario's per-variant results.
+	Outcome = expt.Outcome
+	// Variant selects no-adapt / adaptive / monitor-only.
+	Variant = expt.Variant
+)
+
+// Run variants.
+const (
+	// NoAdapt is the paper's "runtime 1".
+	NoAdapt = expt.NoAdapt
+	// Adaptive is "runtime 2".
+	Adaptive = expt.Adaptive
+	// MonitorOnly is "runtime 3".
+	MonitorOnly = expt.MonitorOnly
+)
+
+// DAS2 returns the five-cluster Distributed ASCI Supercomputer 2.
+func DAS2() Topology { return topo.DAS2() }
+
+// BarnesHut returns the calibrated Barnes-Hut workload model.
+func BarnesHut(nBodies, iterations int) Workload {
+	return workload.BarnesHut(nBodies, iterations)
+}
+
+// VaryingParallelism scales a workload's per-iteration work.
+func VaryingParallelism(base Workload, scale func(iter int) float64) Workload {
+	return workload.VaryingParallelism(base, scale)
+}
+
+// DefaultMonitor returns the paper's monitoring setup (3-minute
+// periods, ~3% benchmark budget).
+func DefaultMonitor() MonitorParams { return des.DefaultMonitor() }
+
+// DefaultThresholds returns the paper's adaptation thresholds.
+func DefaultThresholds() Thresholds { return core.DefaultConfig() }
+
+// Simulate executes one run on the discrete-event simulator.
+func Simulate(p Params) (*Result, error) { return des.Run(p) }
+
+// Scenarios returns the paper's evaluation scenarios (1, 2a–2c, 3–6)
+// plus the varying-parallelism extension.
+func Scenarios() []Scenario { return expt.All() }
+
+// ScenarioByID finds one scenario.
+func ScenarioByID(id string) (Scenario, bool) { return expt.ByID(id) }
+
+// RunScenario executes a scenario in the given variants (all three
+// when none are named).
+func RunScenario(sc Scenario, variants ...Variant) (*Outcome, error) {
+	return expt.Run(sc, variants...)
+}

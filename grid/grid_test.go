@@ -1,0 +1,118 @@
+package grid_test
+
+import (
+	"testing"
+
+	"repro/grid"
+)
+
+func TestSimulateQuickstart(t *testing.T) {
+	p := grid.Params{
+		Topo: grid.DAS2(),
+		Spec: grid.BarnesHut(100000, 5),
+		Seed: 1,
+		Initial: []grid.Alloc{
+			{Cluster: "fs0", Count: 12},
+			{Cluster: "fs1", Count: 12},
+		},
+	}
+	res, err := grid.Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || len(res.Iterations) != 5 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestSimulateAdaptive(t *testing.T) {
+	p := grid.Params{
+		Topo:    grid.DAS2(),
+		Spec:    grid.BarnesHut(100000, 30),
+		Seed:    1,
+		Initial: []grid.Alloc{{Cluster: "fs0", Count: 8}},
+	}
+	p.Mon = grid.DefaultMonitor()
+	th := grid.DefaultThresholds()
+	p.Adapt = &th
+	res, err := grid.Simulate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalNodes <= 8 {
+		t.Fatalf("adaptive run did not grow: final=%d", res.FinalNodes)
+	}
+	if len(res.Periods) == 0 {
+		t.Fatal("no coordinator periods")
+	}
+}
+
+func TestSimulateRejectsBadParams(t *testing.T) {
+	if _, err := grid.Simulate(grid.Params{}); err == nil {
+		t.Fatal("empty params accepted")
+	}
+	p := grid.Params{
+		Topo:    grid.DAS2(),
+		Spec:    grid.BarnesHut(1000, 3),
+		Initial: []grid.Alloc{{Cluster: "nope", Count: 3}},
+	}
+	if _, err := grid.Simulate(p); err == nil {
+		t.Fatal("unknown cluster accepted")
+	}
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	scs := grid.Scenarios()
+	if len(scs) < 8 {
+		t.Fatalf("got %d scenarios, want >= 8 (1, 2a-2c, 3-7)", len(scs))
+	}
+	ids := map[string]bool{}
+	for _, sc := range scs {
+		if sc.ID == "" || sc.Build == nil {
+			t.Errorf("malformed scenario %+v", sc.ID)
+		}
+		if ids[sc.ID] {
+			t.Errorf("duplicate scenario id %s", sc.ID)
+		}
+		ids[sc.ID] = true
+	}
+	for _, want := range []string{"1", "2a", "2b", "2c", "3", "4", "5", "6"} {
+		if !ids[want] {
+			t.Errorf("missing scenario %s", want)
+		}
+	}
+	if _, ok := grid.ScenarioByID("4"); !ok {
+		t.Error("ScenarioByID(4) failed")
+	}
+	if _, ok := grid.ScenarioByID("zzz"); ok {
+		t.Error("ScenarioByID(zzz) found something")
+	}
+}
+
+func TestRunScenarioSingleVariant(t *testing.T) {
+	sc, _ := grid.ScenarioByID("1")
+	// Shorten: rebuild with fewer iterations via the scenario's own
+	// Build, then run just one variant for speed.
+	out, err := grid.RunScenario(sc, grid.NoAdapt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Results[grid.NoAdapt] == nil || !out.Results[grid.NoAdapt].Completed {
+		t.Fatalf("outcome = %+v", out.Results)
+	}
+	if out.Results[grid.Adaptive] != nil {
+		t.Error("unrequested variant ran")
+	}
+}
+
+func TestVaryingParallelism(t *testing.T) {
+	w := grid.VaryingParallelism(grid.BarnesHut(100000, 10), func(i int) float64 {
+		if i >= 5 {
+			return 0.5
+		}
+		return 1
+	})
+	if w.IterWork(0) <= w.IterWork(7) {
+		t.Fatalf("scaling not applied: %v vs %v", w.IterWork(0), w.IterWork(7))
+	}
+}

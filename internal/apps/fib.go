@@ -1,0 +1,63 @@
+// Package apps contains real divide-and-conquer applications for the
+// satin runtime: the classic recursion benchmarks (Fibonacci,
+// N-Queens, adaptive quadrature, TSP) and a genuine Barnes-Hut N-body
+// simulation — the application class the paper targets, with task
+// sizes varying over orders of magnitude and dynamic load balancing by
+// work stealing.
+package apps
+
+import (
+	"time"
+
+	"repro/satin"
+)
+
+// Fib counts the calls of the naive Fibonacci recursion — the standard
+// divide-and-conquer microbenchmark. LeafDelay adds that much
+// simulated work to every sequential subtask (one block per task at
+// the cutoff), so small instances have coarse enough grains to load-
+// balance visibly even on few-core machines.
+type Fib struct {
+	N         int
+	SeqCutoff int
+	LeafDelay time.Duration
+}
+
+// Execute implements satin.Task.
+func (f Fib) Execute(ctx *satin.Context) (any, error) {
+	if f.N <= f.SeqCutoff || f.N < 2 {
+		if f.LeafDelay > 0 {
+			time.Sleep(f.LeafDelay)
+		}
+		return f.sequential(f.N), nil
+	}
+	a := ctx.Spawn(Fib{N: f.N - 1, SeqCutoff: f.SeqCutoff, LeafDelay: f.LeafDelay})
+	b := ctx.Spawn(Fib{N: f.N - 2, SeqCutoff: f.SeqCutoff, LeafDelay: f.LeafDelay})
+	if err := ctx.Sync(); err != nil {
+		return nil, err
+	}
+	return a.Int() + b.Int(), nil
+}
+
+func (f Fib) sequential(n int) int {
+	if n < 2 {
+		return 1
+	}
+	return f.sequential(n-1) + f.sequential(n-2)
+}
+
+// FibLeaves is the expected result: the call-leaf count of fib(n).
+func FibLeaves(n int) int {
+	if n < 2 {
+		return 1
+	}
+	a, b := 1, 1
+	for i := 2; i <= n; i++ {
+		a, b = b, a+b
+	}
+	return b
+}
+
+func init() {
+	satin.Register(Fib{})
+}

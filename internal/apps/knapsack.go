@@ -1,0 +1,158 @@
+package apps
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/satin"
+)
+
+// Knapsack solves 0/1 knapsack exactly by divide-and-conquer branch
+// and bound: each task fixes the decision for one item and searches
+// the rest, pruning with the fractional upper bound. Like TSP, the
+// bound each task inherits is the best known when it was spawned —
+// distributed bound sharing would need the shared-object layer the
+// paper's system does not include.
+type Knapsack struct {
+	Weights  []int
+	Values   []int
+	Capacity int
+	// Index is the next item to decide; Value/Weight the committed
+	// partial solution.
+	Index  int
+	Value  int
+	Weight int
+	// Best is the bound known at spawn time.
+	Best int
+	// SpawnDepth: decisions shallower than this spawn subtasks.
+	SpawnDepth int
+}
+
+// RandomKnapsack builds a reproducible instance with n items.
+func RandomKnapsack(n int, seed int64) Knapsack {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]int, n)
+	v := make([]int, n)
+	total := 0
+	for i := range w {
+		w[i] = 1 + rng.Intn(50)
+		v[i] = 1 + rng.Intn(100)
+		total += w[i]
+	}
+	return Knapsack{Weights: w, Values: v, Capacity: total / 2, SpawnDepth: 4}
+}
+
+// upperBound is the fractional-relaxation bound for the remaining
+// items; items must be pre-sorted by value density (see Execute).
+func (k Knapsack) upperBound() int {
+	cap := k.Capacity - k.Weight
+	bound := k.Value
+	for i := k.Index; i < len(k.Weights) && cap > 0; i++ {
+		if k.Weights[i] <= cap {
+			cap -= k.Weights[i]
+			bound += k.Values[i]
+		} else {
+			bound += k.Values[i] * cap / k.Weights[i]
+			cap = 0
+		}
+	}
+	return bound
+}
+
+// normalize sorts items by value density once, at the root.
+func (k Knapsack) normalize() Knapsack {
+	type item struct{ w, v int }
+	items := make([]item, len(k.Weights))
+	for i := range items {
+		items[i] = item{k.Weights[i], k.Values[i]}
+	}
+	sort.SliceStable(items, func(i, j int) bool {
+		return items[i].v*items[j].w > items[j].v*items[i].w
+	})
+	w := make([]int, len(items))
+	v := make([]int, len(items))
+	for i, it := range items {
+		w[i], v[i] = it.w, it.v
+	}
+	k.Weights, k.Values = w, v
+	return k
+}
+
+// Execute implements satin.Task; the result is the best total value.
+func (k Knapsack) Execute(ctx *satin.Context) (any, error) {
+	if k.Index == 0 && k.Weight == 0 && k.Value == 0 {
+		k = k.normalize()
+	}
+	if k.Index >= len(k.Weights) {
+		return k.Value, nil
+	}
+	if k.upperBound() <= k.Best {
+		return k.Value, nil // prune: cannot beat the inherited bound
+	}
+	if k.Index >= k.SpawnDepth {
+		best := k.Best
+		k.searchSequential(&best)
+		if best < k.Value {
+			best = k.Value
+		}
+		return best, nil
+	}
+	take := k
+	take.Index++
+	var futures []*satin.Future
+	if k.Weight+k.Weights[k.Index] <= k.Capacity {
+		with := take
+		with.Weight += k.Weights[k.Index]
+		with.Value += k.Values[k.Index]
+		futures = append(futures, ctx.Spawn(with))
+	}
+	futures = append(futures, ctx.Spawn(take)) // skip the item
+	if err := ctx.Sync(); err != nil {
+		return nil, err
+	}
+	best := k.Value
+	for _, f := range futures {
+		if v := f.Int(); v > best {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+// searchSequential explores the remaining decisions depth-first with
+// a live local bound.
+func (k Knapsack) searchSequential(best *int) {
+	if k.Value > *best {
+		*best = k.Value
+	}
+	if k.Index >= len(k.Weights) || k.upperBound() <= *best {
+		return
+	}
+	if k.Weight+k.Weights[k.Index] <= k.Capacity {
+		with := k
+		with.Weight += k.Weights[k.Index]
+		with.Value += k.Values[k.Index]
+		with.Index++
+		with.searchSequential(best)
+	}
+	skip := k
+	skip.Index++
+	skip.searchSequential(best)
+}
+
+// KnapsackDP is the dynamic-programming reference solution.
+func KnapsackDP(weights, values []int, capacity int) int {
+	dp := make([]int, capacity+1)
+	for i := range weights {
+		for c := capacity; c >= weights[i]; c-- {
+			if v := dp[c-weights[i]] + values[i]; v > dp[c] {
+				dp[c] = v
+			}
+		}
+	}
+	return dp[capacity]
+}
+
+func init() {
+	satin.Register(Knapsack{})
+}

@@ -1,0 +1,82 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/satin"
+)
+
+// NQueens counts the placements of N non-attacking queens using the
+// bitmask backtracking recursion. Each partial board is a task; the
+// search tree is highly irregular, which is exactly the workload shape
+// the paper says makes benchmark-free speed measurement necessary.
+type NQueens struct {
+	N int
+	// Row and the occupancy masks describe the partial board.
+	Row                int
+	Cols, Diag1, Diag2 uint32
+	// SpawnDepth: boards with fewer placed rows spawn children; deeper
+	// boards solve sequentially.
+	SpawnDepth int
+}
+
+// Execute implements satin.Task.
+func (q NQueens) Execute(ctx *satin.Context) (any, error) {
+	if q.N <= 0 || q.N > 20 {
+		return nil, fmt.Errorf("apps: nqueens size %d out of range", q.N)
+	}
+	if q.Row >= q.SpawnDepth {
+		return q.countSequential(q.Row, q.Cols, q.Diag1, q.Diag2), nil
+	}
+	full := uint32(1<<q.N) - 1
+	free := full &^ (q.Cols | q.Diag1 | q.Diag2)
+	var futures []*satin.Future
+	for free != 0 {
+		bit := free & -free
+		free &^= bit
+		futures = append(futures, ctx.Spawn(NQueens{
+			N:          q.N,
+			Row:        q.Row + 1,
+			Cols:       q.Cols | bit,
+			Diag1:      (q.Diag1 | bit) << 1 & full,
+			Diag2:      (q.Diag2 | bit) >> 1,
+			SpawnDepth: q.SpawnDepth,
+		}))
+	}
+	if err := ctx.Sync(); err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, f := range futures {
+		total += f.Int()
+	}
+	return total, nil
+}
+
+func (q NQueens) countSequential(row int, cols, d1, d2 uint32) int {
+	if row == q.N {
+		return 1
+	}
+	full := uint32(1<<q.N) - 1
+	free := full &^ (cols | d1 | d2)
+	count := 0
+	for free != 0 {
+		bit := free & -free
+		free &^= bit
+		count += q.countSequential(row+1, cols|bit, (d1|bit)<<1&full, (d2|bit)>>1)
+	}
+	return count
+}
+
+// QueensSolutions returns the known solution counts for checking.
+func QueensSolutions(n int) int {
+	known := []int{1, 1, 0, 0, 2, 10, 4, 40, 92, 352, 724, 2680, 14200, 73712}
+	if n >= 0 && n < len(known) {
+		return known[n]
+	}
+	return -1
+}
+
+func init() {
+	satin.Register(NQueens{})
+}

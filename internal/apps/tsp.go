@@ -1,0 +1,136 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/satin"
+)
+
+// TSP solves the travelling-salesman problem exactly by
+// divide-and-conquer search with partial-cost pruning: each task
+// extends a partial tour by one city and searches the remainder. The
+// distance matrix travels with stolen tasks (Satin replicated static
+// data the same way).
+type TSP struct {
+	Dist [][]float64
+	Path []int
+	Cost float64
+	// UpperBound prunes branches; tasks inherit the bound known when
+	// they were spawned (a distributed global bound would need the
+	// shared-object extension the paper leaves out).
+	UpperBound float64
+	// SpawnDepth: tours shorter than this spawn children.
+	SpawnDepth int
+}
+
+// TourResult is a TSP task's answer.
+type TourResult struct {
+	Cost float64
+	Path []int
+}
+
+// RandomCities builds a reproducible random distance matrix.
+func RandomCities(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i], ys[i] = rng.Float64()*100, rng.Float64()*100
+	}
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = math.Hypot(xs[i]-xs[j], ys[i]-ys[j])
+		}
+	}
+	return d
+}
+
+// NewTSP builds the root task for a distance matrix.
+func NewTSP(dist [][]float64, spawnDepth int) TSP {
+	return TSP{
+		Dist:       dist,
+		Path:       []int{0},
+		UpperBound: math.Inf(1),
+		SpawnDepth: spawnDepth,
+	}
+}
+
+// Execute implements satin.Task.
+func (t TSP) Execute(ctx *satin.Context) (any, error) {
+	n := len(t.Dist)
+	if n == 0 {
+		return nil, fmt.Errorf("apps: tsp with empty distance matrix")
+	}
+	if len(t.Path) < t.SpawnDepth && len(t.Path) < n {
+		visited := make([]bool, n)
+		for _, c := range t.Path {
+			visited[c] = true
+		}
+		last := t.Path[len(t.Path)-1]
+		var futures []*satin.Future
+		for c := 0; c < n; c++ {
+			if visited[c] {
+				continue
+			}
+			child := TSP{
+				Dist:       t.Dist,
+				Path:       append(append([]int(nil), t.Path...), c),
+				Cost:       t.Cost + t.Dist[last][c],
+				UpperBound: t.UpperBound,
+				SpawnDepth: t.SpawnDepth,
+			}
+			futures = append(futures, ctx.Spawn(child))
+		}
+		if err := ctx.Sync(); err != nil {
+			return nil, err
+		}
+		best := TourResult{Cost: math.Inf(1)}
+		for _, f := range futures {
+			if r, ok := f.Value().(TourResult); ok && r.Cost < best.Cost {
+				best = r
+			}
+		}
+		return best, nil
+	}
+	best := TourResult{Cost: t.UpperBound}
+	visited := make([]bool, n)
+	for _, c := range t.Path {
+		visited[c] = true
+	}
+	path := append([]int(nil), t.Path...)
+	t.search(path, visited, t.Cost, &best)
+	return best, nil
+}
+
+func (t TSP) search(path []int, visited []bool, cost float64, best *TourResult) {
+	n := len(t.Dist)
+	if cost >= best.Cost {
+		return // prune: the partial tour is already worse
+	}
+	if len(path) == n {
+		total := cost + t.Dist[path[n-1]][path[0]]
+		if total < best.Cost {
+			best.Cost = total
+			best.Path = append([]int(nil), path...)
+		}
+		return
+	}
+	last := path[len(path)-1]
+	for c := 0; c < n; c++ {
+		if visited[c] {
+			continue
+		}
+		visited[c] = true
+		t.search(append(path, c), visited, cost+t.Dist[last][c], best)
+		visited[c] = false
+	}
+}
+
+func init() {
+	satin.Register(TSP{})
+	satin.RegisterValue(TourResult{})
+}

@@ -1,0 +1,106 @@
+package core
+
+import "sort"
+
+// BadnessWeights are the α, β, γ coefficients of the paper's heuristic
+// badness formulas:
+//
+//	proc_badness_i    = α·(1/speed_i) + β·ic_overhead_i + γ·inWorstCluster(i)
+//	cluster_badness_c = α·(1/speed_c) + β·ic_overhead_c
+//
+// Speeds are relative (fastest = 1), so 1/speed >= 1. The paper chooses
+// the coefficients empirically such that a few percent of inter-cluster
+// overhead already dominates (it indicates a bandwidth problem) and such
+// that processors of the worst cluster are preferentially evacuated
+// (removing processors of a single cluster reduces the amount of
+// wide-area communication).
+type BadnessWeights struct {
+	Alpha float64 // weight of the inverse relative speed term
+	Beta  float64 // weight of the inter-cluster overhead term
+	Gamma float64 // bonus for membership in the worst cluster
+}
+
+// DefaultBadnessWeights mirrors the empirically established constants
+// documented in DESIGN.md (the paper's exact numerals are unreadable in
+// the text we received; these reproduce the described behaviour).
+func DefaultBadnessWeights() BadnessWeights {
+	return BadnessWeights{Alpha: 1.0, Beta: 100.0, Gamma: 10.0}
+}
+
+// NodeBadness is a node's score: higher is worse.
+type NodeBadness struct {
+	Node    NodeID
+	Cluster ClusterID
+	Badness float64
+}
+
+// ClusterBadness is a cluster's score: higher is worse.
+type ClusterBadness struct {
+	Cluster   ClusterID
+	Badness   float64
+	InterComm float64
+	Nodes     []NodeID
+}
+
+// invSpeed guards the 1/speed term against zero speeds: an unmeasured or
+// stopped node is maximally slow but must not produce +Inf, which would
+// defeat the β and γ terms entirely.
+func invSpeed(rel float64) float64 {
+	const floor = 1e-3
+	if rel < floor {
+		rel = floor
+	}
+	return 1 / rel
+}
+
+// RankClusters computes cluster badness for every cluster present in
+// stats and returns them sorted worst-first. Ties break on ClusterID so
+// the ranking is deterministic.
+func RankClusters(stats []NodeStats, w BadnessWeights) []ClusterBadness {
+	agg := AggregateClusters(stats)
+	out := make([]ClusterBadness, 0, len(agg))
+	for _, c := range agg {
+		out = append(out, ClusterBadness{
+			Cluster:   c.Cluster,
+			Badness:   w.Alpha*invSpeed(c.RelSpeed) + w.Beta*c.InterComm,
+			InterComm: c.InterComm,
+			Nodes:     c.Nodes,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Badness != out[j].Badness {
+			return out[i].Badness > out[j].Badness
+		}
+		return out[i].Cluster < out[j].Cluster
+	})
+	return out
+}
+
+// RankNodes computes per-node badness and returns the nodes sorted
+// worst-first. The worst cluster (per RankClusters) contributes the γ
+// bonus to its members. Ties break on NodeID for determinism.
+func RankNodes(stats []NodeStats, w BadnessWeights) []NodeBadness {
+	if len(stats) == 0 {
+		return nil
+	}
+	rel := RelativeSpeeds(stats)
+	var worst ClusterID
+	if clusters := RankClusters(stats, w); len(clusters) > 0 {
+		worst = clusters[0].Cluster
+	}
+	out := make([]NodeBadness, 0, len(stats))
+	for i, s := range stats {
+		b := w.Alpha*invSpeed(rel[i]) + w.Beta*s.InterComm
+		if s.Cluster == worst {
+			b += w.Gamma
+		}
+		out = append(out, NodeBadness{Node: s.Node, Cluster: s.Cluster, Badness: b})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Badness != out[j].Badness {
+			return out[i].Badness > out[j].Badness
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNodeStatsOverheadClamps(t *testing.T) {
+	cases := []struct {
+		in   NodeStats
+		want float64
+	}{
+		{NodeStats{Idle: 0.2, IntraComm: 0.1, InterComm: 0.05}, 0.35},
+		{NodeStats{}, 0},
+		{NodeStats{Idle: 0.9, IntraComm: 0.9}, 1},   // clamps above
+		{NodeStats{Idle: -0.5, IntraComm: -0.5}, 0}, // clamps below
+		{NodeStats{InterComm: 1.0}, 1},              // exactly one
+		{NodeStats{Idle: 1.0 / 3, IntraComm: 1.0 / 3, InterComm: 1.0 / 3}, 1},
+	}
+	for i, c := range cases {
+		if got := c.in.Overhead(); !almostEq(got, c.want) {
+			t.Errorf("case %d: Overhead() = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestNodeStatsValidate(t *testing.T) {
+	good := NodeStats{Node: "n0", Cluster: "c0", Speed: 1, Idle: 0.2, IntraComm: 0.1, InterComm: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid stats rejected: %v", err)
+	}
+	bad := []NodeStats{
+		{Node: "", Speed: 1},
+		{Node: "n", Speed: -1},
+		{Node: "n", Idle: 1.5},
+		{Node: "n", IntraComm: -0.1},
+		{Node: "n", InterComm: 2},
+		{Node: "n", Idle: 0.6, IntraComm: 0.6}, // sum > 1
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid stats %+v accepted", i, s)
+		}
+	}
+}
+
+func TestRelativeSpeeds(t *testing.T) {
+	t.Run("normalises to fastest", func(t *testing.T) {
+		stats := []NodeStats{
+			{Node: "a", Speed: 50},
+			{Node: "b", Speed: 100},
+			{Node: "c", Speed: 25},
+		}
+		rel := RelativeSpeeds(stats)
+		want := []float64{0.5, 1.0, 0.25}
+		for i := range want {
+			if !almostEq(rel[i], want[i]) {
+				t.Errorf("rel[%d] = %v, want %v", i, rel[i], want[i])
+			}
+		}
+	})
+	t.Run("unknown speeds take slowest known", func(t *testing.T) {
+		stats := []NodeStats{
+			{Node: "a", Speed: 0},
+			{Node: "b", Speed: 100},
+			{Node: "c", Speed: 20},
+		}
+		rel := RelativeSpeeds(stats)
+		if !almostEq(rel[0], 0.2) {
+			t.Errorf("unknown speed got rel %v, want 0.2 (slowest known)", rel[0])
+		}
+	})
+	t.Run("all unknown is homogeneous", func(t *testing.T) {
+		stats := []NodeStats{{Node: "a"}, {Node: "b"}}
+		rel := RelativeSpeeds(stats)
+		if rel[0] != 1 || rel[1] != 1 {
+			t.Errorf("all-unknown speeds should be 1, got %v", rel)
+		}
+	})
+}
+
+func TestWeightedAverageEfficiencyHomogeneousMatchesEfficiency(t *testing.T) {
+	stats := []NodeStats{
+		{Node: "a", Speed: 10, Idle: 0.3},
+		{Node: "b", Speed: 10, InterComm: 0.1},
+		{Node: "c", Speed: 10, IntraComm: 0.25},
+	}
+	if wae, e := WeightedAverageEfficiency(stats), Efficiency(stats); !almostEq(wae, e) {
+		t.Errorf("homogeneous speeds: WAE %v != efficiency %v", wae, e)
+	}
+}
+
+func TestWeightedAverageEfficiencyPenalisesSlowNodes(t *testing.T) {
+	fast := []NodeStats{
+		{Node: "a", Speed: 10, Idle: 0.2},
+		{Node: "b", Speed: 10, Idle: 0.2},
+	}
+	mixed := []NodeStats{
+		{Node: "a", Speed: 10, Idle: 0.2},
+		{Node: "b", Speed: 2, Idle: 0.2}, // 5x slower, same overhead
+	}
+	if w1, w2 := WeightedAverageEfficiency(fast), WeightedAverageEfficiency(mixed); w2 >= w1 {
+		t.Errorf("slow node should lower WAE: fast=%v mixed=%v", w1, w2)
+	}
+	// The slow node contributes speed*(1-overhead) = 0.2*0.8 = 0.16,
+	// the fast one 0.8: WAE = 0.48.
+	if w := WeightedAverageEfficiency(mixed); !almostEq(w, 0.48) {
+		t.Errorf("mixed WAE = %v, want 0.48", w)
+	}
+}
+
+func TestWeightedAverageEfficiencyEmpty(t *testing.T) {
+	if w := WeightedAverageEfficiency(nil); w != 0 {
+		t.Errorf("empty WAE = %v, want 0", w)
+	}
+	if e := Efficiency(nil); e != 0 {
+		t.Errorf("empty efficiency = %v, want 0", e)
+	}
+}
+
+// Property: WAE is always within [0,1] and never exceeds the unweighted
+// efficiency (speeds are <= 1 after normalisation).
+func TestWAEBoundsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%32) + 1
+		stats := make([]NodeStats, n)
+		for i := range stats {
+			idle := rng.Float64()
+			intra := rng.Float64() * (1 - idle)
+			inter := rng.Float64() * (1 - idle - intra)
+			stats[i] = NodeStats{
+				Node:      NodeID(rune('a' + i)),
+				Cluster:   ClusterID("c"),
+				Speed:     rng.Float64() * 100,
+				Idle:      idle,
+				IntraComm: intra,
+				InterComm: inter,
+			}
+		}
+		wae := WeightedAverageEfficiency(stats)
+		eff := Efficiency(stats)
+		return wae >= 0 && wae <= 1+1e-12 && wae <= eff+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregateClusters(t *testing.T) {
+	stats := []NodeStats{
+		{Node: "b1", Cluster: "B", Speed: 5, InterComm: 0.4, Idle: 0.1},
+		{Node: "a1", Cluster: "A", Speed: 10, InterComm: 0.1},
+		{Node: "a2", Cluster: "A", Speed: 10, InterComm: 0.3},
+		{Node: "b2", Cluster: "B", Speed: 5, InterComm: 0.2},
+	}
+	agg := AggregateClusters(stats)
+	if len(agg) != 2 {
+		t.Fatalf("got %d clusters, want 2", len(agg))
+	}
+	if agg[0].Cluster != "A" || agg[1].Cluster != "B" {
+		t.Fatalf("clusters not in sorted order: %v %v", agg[0].Cluster, agg[1].Cluster)
+	}
+	a, b := agg[0], agg[1]
+	if !almostEq(a.Speed, 20) || !almostEq(b.Speed, 10) {
+		t.Errorf("cluster speeds = %v,%v want 20,10", a.Speed, b.Speed)
+	}
+	if !almostEq(a.RelSpeed, 1) || !almostEq(b.RelSpeed, 0.5) {
+		t.Errorf("rel speeds = %v,%v want 1,0.5", a.RelSpeed, b.RelSpeed)
+	}
+	if !almostEq(a.InterComm, 0.2) || !almostEq(b.InterComm, 0.3) {
+		t.Errorf("intercomm = %v,%v want 0.2,0.3", a.InterComm, b.InterComm)
+	}
+	if len(a.Nodes) != 2 || a.Nodes[0] != "a1" || a.Nodes[1] != "a2" {
+		t.Errorf("cluster A nodes = %v", a.Nodes)
+	}
+}
+
+func TestRankClustersWorstFirst(t *testing.T) {
+	w := DefaultBadnessWeights()
+	stats := []NodeStats{
+		{Node: "g1", Cluster: "good", Speed: 10, InterComm: 0.02},
+		{Node: "g2", Cluster: "good", Speed: 10, InterComm: 0.02},
+		{Node: "s1", Cluster: "sat", Speed: 10, InterComm: 0.5},
+		{Node: "s2", Cluster: "sat", Speed: 10, InterComm: 0.4},
+	}
+	ranked := RankClusters(stats, w)
+	if ranked[0].Cluster != "sat" {
+		t.Fatalf("saturated cluster should rank worst, got %v", ranked[0].Cluster)
+	}
+	if ranked[0].Badness <= ranked[1].Badness {
+		t.Errorf("badness not descending: %v then %v", ranked[0].Badness, ranked[1].Badness)
+	}
+}
+
+func TestRankNodesWorstClusterBonusAndSpeed(t *testing.T) {
+	w := DefaultBadnessWeights()
+	stats := []NodeStats{
+		{Node: "fast", Cluster: "A", Speed: 10, InterComm: 0.01},
+		{Node: "slow", Cluster: "A", Speed: 1, InterComm: 0.01},
+		{Node: "wan1", Cluster: "B", Speed: 10, InterComm: 0.30},
+		{Node: "wan2", Cluster: "B", Speed: 10, InterComm: 0.30},
+	}
+	ranked := RankNodes(stats, w)
+	// Cluster B saturates its uplink: its members must outrank even the
+	// very slow node in A, since β·0.3 + γ = 40 > α·10.
+	if ranked[0].Cluster != "B" || ranked[1].Cluster != "B" {
+		t.Fatalf("worst-cluster members should rank first: %+v", ranked)
+	}
+	if ranked[2].Node != "slow" {
+		t.Errorf("slow node should be third, got %v", ranked[2].Node)
+	}
+	if ranked[3].Node != "fast" {
+		t.Errorf("fast clean node should be last, got %v", ranked[3].Node)
+	}
+}
+
+func TestRankNodesDeterministicTieBreak(t *testing.T) {
+	w := DefaultBadnessWeights()
+	stats := []NodeStats{
+		{Node: "z", Cluster: "A", Speed: 5},
+		{Node: "a", Cluster: "A", Speed: 5},
+		{Node: "m", Cluster: "A", Speed: 5},
+	}
+	ranked := RankNodes(stats, w)
+	if ranked[0].Node != "a" || ranked[1].Node != "m" || ranked[2].Node != "z" {
+		t.Errorf("ties must break on NodeID: %+v", ranked)
+	}
+}
+
+func TestRankNodesZeroSpeedFinite(t *testing.T) {
+	ranked := RankNodes([]NodeStats{
+		{Node: "dead", Cluster: "A", Speed: 0},
+		{Node: "ok", Cluster: "A", Speed: 10},
+	}, DefaultBadnessWeights())
+	for _, r := range ranked {
+		if math.IsInf(r.Badness, 0) || math.IsNaN(r.Badness) {
+			t.Fatalf("badness must stay finite, got %v for %v", r.Badness, r.Node)
+		}
+	}
+	if ranked[0].Node != "dead" {
+		t.Errorf("zero-speed node should rank worst")
+	}
+}

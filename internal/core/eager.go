@@ -1,0 +1,96 @@
+package core
+
+// This file implements the speedup-versus-efficiency theory of Eager,
+// Zahorjan & Lazowska ("Speedup versus efficiency in parallel systems",
+// IEEE Trans. Computers, 1989), which the paper uses to justify its
+// EMax = 0.5 threshold: when a computation runs on the processor count
+// that maximises the power metric (speedup/execution-time ratio), its
+// efficiency is at least 50%, so adding processors while efficiency is
+// at or below 0.5 cannot be worthwhile.
+
+import "math"
+
+// WorkProfile characterises a computation by its total work T1 (time on
+// one processor) and its critical path Tinf (time on infinitely many
+// processors). AverageParallelism A = T1/Tinf.
+type WorkProfile struct {
+	T1   float64 // total work (seconds on the fastest processor)
+	Tinf float64 // critical-path length (seconds)
+}
+
+// AverageParallelism returns A = T1/Tinf, the average parallelism of
+// the computation. A is the asymptotic speedup bound.
+func (w WorkProfile) AverageParallelism() float64 {
+	if w.Tinf <= 0 {
+		return math.Inf(1)
+	}
+	return w.T1 / w.Tinf
+}
+
+// SpeedupLowerBound is Eager et al.'s guaranteed speedup on n
+// processors for any work-conserving schedule:
+//
+//	S(n) >= n·A / (n + A − 1)
+func (w WorkProfile) SpeedupLowerBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	a := w.AverageParallelism()
+	if math.IsInf(a, 1) {
+		return float64(n)
+	}
+	return float64(n) * a / (float64(n) + a - 1)
+}
+
+// SpeedupUpperBound is the trivial bound S(n) <= min(n, A).
+func (w WorkProfile) SpeedupUpperBound(n int) float64 {
+	a := w.AverageParallelism()
+	return math.Min(float64(n), a)
+}
+
+// EfficiencyLowerBound is E(n) = S(n)/n using the guaranteed speedup:
+//
+//	E(n) >= A / (n + A − 1)
+func (w WorkProfile) EfficiencyLowerBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return w.SpeedupLowerBound(n) / float64(n)
+}
+
+// Power is the metric maximised to define the optimal processor count:
+// the ratio of efficiency to execution time,
+//
+//	Power(n) = E(n)/T(n) = S(n)² / (n · T1),
+//
+// computed from the guaranteed-speedup bound. For S(n) = nA/(n+A−1)
+// the maximiser is n = A−1 (≈ the average parallelism), where the
+// efficiency is A/(2A−2) >= 0.5 — the Eager et al. theorem behind EMax.
+func (w WorkProfile) Power(n int) float64 {
+	if n <= 0 || w.T1 <= 0 {
+		return 0
+	}
+	s := w.SpeedupLowerBound(n)
+	return s * s / (float64(n) * w.T1)
+}
+
+// OptimalProcessors returns the processor count in [1,maxN] maximising
+// Power. For the Eager bound the maximiser is n ≈ A; the search is kept
+// exhaustive so alternative speedup models can reuse it.
+func (w WorkProfile) OptimalProcessors(maxN int) int {
+	best, bestP := 1, w.Power(1)
+	for n := 2; n <= maxN; n++ {
+		if p := w.Power(n); p > bestP {
+			best, bestP = n, p
+		}
+	}
+	return best
+}
+
+// KneeEfficiency returns the efficiency at the power-optimal processor
+// count. Eager et al. prove it is >= 0.5; the unit tests assert that
+// property across profiles, which is exactly the theorem the paper's
+// EMax threshold rests on.
+func (w WorkProfile) KneeEfficiency(maxN int) float64 {
+	return w.EfficiencyLowerBound(w.OptimalProcessors(maxN))
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpeedupBoundsBasics(t *testing.T) {
+	w := WorkProfile{T1: 100, Tinf: 10} // A = 10
+	if a := w.AverageParallelism(); !almostEq(a, 10) {
+		t.Fatalf("A = %v, want 10", a)
+	}
+	if s := w.SpeedupLowerBound(1); !almostEq(s, 1) {
+		t.Errorf("S(1) = %v, want 1", s)
+	}
+	// S(10) >= 10*10/19
+	if s := w.SpeedupLowerBound(10); !almostEq(s, 100.0/19) {
+		t.Errorf("S(10) = %v, want %v", s, 100.0/19)
+	}
+	if s := w.SpeedupUpperBound(5); !almostEq(s, 5) {
+		t.Errorf("upper S(5) = %v, want 5", s)
+	}
+	if s := w.SpeedupUpperBound(50); !almostEq(s, 10) {
+		t.Errorf("upper S(50) = %v, want A=10", s)
+	}
+	if s := w.SpeedupLowerBound(0); s != 0 {
+		t.Errorf("S(0) = %v, want 0", s)
+	}
+}
+
+func TestSpeedupSequentialAndEmbarrassinglyParallel(t *testing.T) {
+	seq := WorkProfile{T1: 100, Tinf: 100} // A = 1
+	for _, n := range []int{1, 2, 16} {
+		if s := seq.SpeedupLowerBound(n); !almostEq(s, 1) {
+			t.Errorf("sequential S(%d) = %v, want 1", n, s)
+		}
+	}
+	ep := WorkProfile{T1: 100, Tinf: 0} // A = inf
+	if s := ep.SpeedupLowerBound(8); !almostEq(s, 8) {
+		t.Errorf("embarrassingly-parallel S(8) = %v, want 8", s)
+	}
+}
+
+func TestOptimalProcessorsNearAverageParallelism(t *testing.T) {
+	w := WorkProfile{T1: 1000, Tinf: 50} // A = 20
+	n := w.OptimalProcessors(200)
+	// Analytically the power maximiser is n = A-1 = 19.
+	if n != 19 {
+		t.Errorf("optimal n = %d, want 19 (A-1)", n)
+	}
+}
+
+// The theorem behind EMax: efficiency at the power-optimal processor
+// count is at least 1/2, for any work profile.
+func TestKneeEfficiencyAtLeastHalf(t *testing.T) {
+	f := func(t1Raw, tinfRaw uint16) bool {
+		t1 := float64(t1Raw%10000) + 1
+		tinf := float64(tinfRaw%1000) + 0.5
+		if tinf > t1 {
+			t1, tinf = tinf, t1
+		}
+		w := WorkProfile{T1: t1, Tinf: tinf}
+		return w.KneeEfficiency(4096) >= 0.5-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Properties of the bounds: lower <= upper, both monotone non-decreasing
+// in n, and efficiency monotone non-increasing in n.
+func TestSpeedupBoundProperties(t *testing.T) {
+	f := func(t1Raw, tinfRaw uint16, nRaw uint8) bool {
+		t1 := float64(t1Raw%10000) + 1
+		tinf := float64(tinfRaw%1000) + 0.5
+		if tinf > t1 {
+			t1, tinf = tinf, t1
+		}
+		w := WorkProfile{T1: t1, Tinf: tinf}
+		n := int(nRaw%128) + 1
+		lo, hi := w.SpeedupLowerBound(n), w.SpeedupUpperBound(n)
+		if lo > hi+1e-9 {
+			return false
+		}
+		if w.SpeedupLowerBound(n+1) < lo-1e-9 {
+			return false
+		}
+		if w.EfficiencyLowerBound(n+1) > w.EfficiencyLowerBound(n)+1e-9 {
+			return false
+		}
+		return !math.IsNaN(lo) && !math.IsNaN(hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerEdgeCases(t *testing.T) {
+	w := WorkProfile{T1: 0, Tinf: 0}
+	if p := w.Power(4); p != 0 {
+		t.Errorf("Power with T1=0 should be 0, got %v", p)
+	}
+	if p := (WorkProfile{T1: 10, Tinf: 1}).Power(0); p != 0 {
+		t.Errorf("Power(0) should be 0, got %v", p)
+	}
+}

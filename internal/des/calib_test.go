@@ -1,0 +1,78 @@
+package des
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+func baseParams(iters int) Params {
+	return Params{
+		Topo: topo.DAS2(),
+		Spec: workload.BarnesHut(100000, iters),
+		Seed: 1,
+		Initial: []Alloc{
+			{Cluster: "fs0", Count: 12},
+			{Cluster: "fs1", Count: 12},
+			{Cluster: "fs2", Count: 12},
+		},
+	}
+}
+
+// TestCalibrationBaseline pins the calibrated operating point the
+// experiments rely on: on 36 DAS-2 nodes in three clusters, iterations
+// take ~10 virtual seconds and efficiency sits near 0.5 — the paper's
+// "reasonable set of nodes" where the coordinator takes no action.
+func TestCalibrationBaseline(t *testing.T) {
+	p := baseParams(10)
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("run did not complete: %+v", res)
+	}
+	mean := res.MeanIterDuration(0, len(res.Iterations))
+	t.Logf("runtime=%.1fs iters=%d meanIter=%.2fs final=%d",
+		res.Runtime, len(res.Iterations), mean, res.FinalNodes)
+	total := res.BusySec + res.IdleSec + res.IntraSec + res.InterSec + res.BenchSec
+	t.Logf("busy=%.0f idle=%.0f intra=%.0f inter=%.0f bench=%.0f eff=%.3f",
+		res.BusySec, res.IdleSec, res.IntraSec, res.InterSec, res.BenchSec,
+		res.BusySec/total)
+	if len(res.Iterations) != 10 {
+		t.Fatalf("got %d iterations, want 10", len(res.Iterations))
+	}
+	if mean < 6 || mean > 16 {
+		t.Errorf("mean iteration %.2fs outside calibrated ~10s band", mean)
+	}
+	eff := res.BusySec / total
+	if eff < 0.38 || eff > 0.62 {
+		t.Errorf("efficiency %.3f outside calibrated ~0.5 band", eff)
+	}
+}
+
+// TestCalibrationMonitoredWAE checks the monitored WAE the coordinator
+// would see sits inside the [EMin, EMax] band at the calibrated point.
+func TestCalibrationMonitoredWAE(t *testing.T) {
+	p := baseParams(40) // long enough for a few monitoring periods
+	p.Mon = DefaultMonitor()
+	p.MonitorOnly = true
+	cfg := core.DefaultConfig()
+	p.Adapt = &cfg
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Periods) == 0 {
+		t.Fatal("no coordinator periods recorded")
+	}
+	for _, pr := range res.Periods[1:] {
+		t.Logf("t=%.0f WAE=%.3f nodes=%d", pr.Time, pr.WAE, pr.Nodes)
+	}
+	last := res.Periods[len(res.Periods)-1]
+	if last.WAE < 0.3 || last.WAE > 0.62 {
+		t.Errorf("steady-state WAE %.3f outside the no-action band", last.WAE)
+	}
+}

@@ -1,0 +1,327 @@
+// Package des is the discrete-event grid simulator that stands in for
+// the paper's testbed: DAS-2 hardware, the Satin divide-and-conquer
+// runtime with cluster-aware random work stealing, the Ibis monitoring
+// hooks, and the Zorilla scheduler. It executes an iterative
+// divide-and-conquer workload (internal/workload) on a simulated
+// heterogeneous grid (internal/topo + internal/netmodel), collects the
+// per-period statistics of internal/metrics, and optionally runs the
+// paper's adaptation coordinator (internal/core) against them.
+//
+// Everything runs in virtual time (internal/vtime), so the scenarios —
+// hours of grid time — execute deterministically in milliseconds.
+package des
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// Alloc is part of an initial allocation: Count nodes of one cluster.
+type Alloc struct {
+	Cluster core.ClusterID
+	Count   int
+}
+
+// MonitorParams configures application monitoring and the
+// application-specific speed benchmark.
+type MonitorParams struct {
+	// Enabled turns on statistics collection and benchmarking. The
+	// paper's "runtime 1" baseline has it off; "runtime 2" (adaptive)
+	// and "runtime 3" (monitoring only) have it on.
+	Enabled bool
+	// Period is the monitoring period in seconds (paper: 180).
+	Period float64
+	// BenchWork is the work of one benchmark run in speed-seconds: the
+	// application itself with a small problem size.
+	BenchWork float64
+	// BenchBudget is the maximal fraction of a node's time the
+	// benchmark may consume; it sets the re-run frequency.
+	BenchBudget float64
+	// SpeedNoise is the relative measurement error (±fraction).
+	SpeedNoise float64
+	// LoadAware re-runs the benchmark only when the processor's load
+	// changed since the last run — the paper's §3.2 optimisation that
+	// "would reduce the benchmarking overhead to almost zero since the
+	// processor load is not changing".
+	LoadAware bool
+}
+
+// DefaultMonitor mirrors the paper's setup: 3-minute periods and a
+// benchmark (~2 speed-seconds) budgeted at 3% overhead, i.e. roughly
+// 2–3 runs per monitoring period.
+func DefaultMonitor() MonitorParams {
+	return MonitorParams{
+		Enabled:     true,
+		Period:      180,
+		BenchWork:   2.0,
+		BenchBudget: 0.03,
+		SpeedNoise:  0.02,
+	}
+}
+
+// InjKind enumerates scenario injections.
+type InjKind int
+
+const (
+	// InjSetLoad puts a competing CPU load on nodes: effective speed
+	// becomes base/(1+Load) and message handling slows accordingly.
+	InjSetLoad InjKind = iota
+	// InjShapeUplink changes a cluster's uplink bandwidth (the paper's
+	// traffic-shaping experiment).
+	InjShapeUplink
+	// InjCrash makes nodes fail abruptly: their queued and running
+	// jobs are recomputed elsewhere after the fault is detected.
+	InjCrash
+)
+
+// Injection is a scheduled disturbance of the environment.
+type Injection struct {
+	At    float64
+	Kind  InjKind
+	Label string // annotation for the figures
+
+	Cluster core.ClusterID
+	// Count limits how many of the cluster's live nodes are affected
+	// (0 = all of them).
+	Count int
+
+	Load      float64 // InjSetLoad: competing load factor (0 clears it)
+	Bandwidth float64 // InjShapeUplink: new uplink capacity, bytes/s
+}
+
+// Params configures one simulated run.
+type Params struct {
+	Topo topo.Topology
+	Spec workload.Spec
+	Seed int64
+
+	// Initial is the user-chosen starting allocation.
+	Initial []Alloc
+
+	Mon MonitorParams
+
+	// Adapt enables the adaptation coordinator with the given
+	// configuration. nil = non-adaptive run. With MonitorOnly set the
+	// coordinator computes everything but never acts (the paper's
+	// "runtime 3", used to price monitoring and benchmarking).
+	Adapt       *core.Config
+	MonitorOnly bool
+
+	Events []Injection
+
+	// JoinDelay is the seconds between the scheduler granting a node
+	// and the node taking part (deployment plus state transfer setup).
+	JoinDelay float64
+	// CrashDetect is the failure-detection latency before a crashed
+	// node's work is recomputed elsewhere.
+	CrashDetect float64
+	// PollInterval is the victim-side delay to handle one steal
+	// request; competing load multiplies it (a loaded machine's runtime
+	// thread is scheduled rarely).
+	PollInterval float64
+	// MaxTime aborts runs that stopped making progress (safety net).
+	MaxTime float64
+
+	// StealPolicy selects the load-balancing algorithm (ablation).
+	StealPolicy StealPolicy
+
+	// DisableBlacklist lets the scheduler hand back resources the
+	// coordinator removed (ablation: without blacklisting, a persistent
+	// bad link causes remove/re-add oscillation).
+	DisableBlacklist bool
+
+	// Opportunistic enables opportunistic migration — the paper's main
+	// future-work item: even when WAE sits between the thresholds, the
+	// coordinator asks the scheduler whether clearly faster processors
+	// are available and adds them; the ordinary loop then sheds the
+	// slower nodes. Requires a scheduler that can rank idle resources
+	// by application-specific speed (sched.Pool.BestAvailable).
+	Opportunistic bool
+
+	// OpportunisticFactor is how much faster an available cluster must
+	// be than the slowest live node to trigger a migration (default
+	// 1.5).
+	OpportunisticFactor float64
+}
+
+// StealPolicy is the work-stealing victim-selection algorithm.
+type StealPolicy int
+
+const (
+	// StealCRS is cluster-aware random stealing: one asynchronous
+	// wide-area steal outstanding while local steals run — Satin's
+	// algorithm, the default.
+	StealCRS StealPolicy = iota
+	// StealRandom picks victims uniformly from all nodes and steals
+	// synchronously, paying the WAN round trip in the idle path — the
+	// baseline CRS was invented to beat.
+	StealRandom
+)
+
+// Defaults fills zero fields with sensible values.
+func (p *Params) Defaults() {
+	if p.JoinDelay == 0 {
+		p.JoinDelay = 5
+	}
+	if p.OpportunisticFactor == 0 {
+		p.OpportunisticFactor = 1.5
+	}
+	if p.CrashDetect == 0 {
+		p.CrashDetect = 10
+	}
+	if p.PollInterval == 0 {
+		p.PollInterval = 0.002
+	}
+	if p.MaxTime == 0 {
+		p.MaxTime = 200000
+	}
+	if p.Mon.Period == 0 {
+		p.Mon.Period = 180
+	}
+	if p.Mon.BenchWork == 0 {
+		p.Mon.BenchWork = 2
+	}
+	if p.Mon.BenchBudget == 0 {
+		p.Mon.BenchBudget = 0.03
+	}
+}
+
+// Validate checks the run is well-formed.
+func (p *Params) Validate() error {
+	if err := p.Topo.Validate(); err != nil {
+		return err
+	}
+	if err := p.Spec.Validate(); err != nil {
+		return err
+	}
+	if len(p.Initial) == 0 {
+		return fmt.Errorf("des: empty initial allocation")
+	}
+	total := 0
+	for _, a := range p.Initial {
+		c, ok := p.Topo.Cluster(a.Cluster)
+		if !ok {
+			return fmt.Errorf("des: initial allocation names unknown cluster %s", a.Cluster)
+		}
+		if a.Count <= 0 || a.Count > c.Nodes {
+			return fmt.Errorf("des: initial allocation of %d nodes in cluster %s (has %d)",
+				a.Count, a.Cluster, c.Nodes)
+		}
+		total += a.Count
+	}
+	if total == 0 {
+		return fmt.Errorf("des: zero initial nodes")
+	}
+	if p.Adapt != nil {
+		if err := p.Adapt.Validate(); err != nil {
+			return err
+		}
+		if !p.Mon.Enabled {
+			return fmt.Errorf("des: adaptation requires monitoring to be enabled")
+		}
+	}
+	return nil
+}
+
+// IterRecord is one application iteration in the result series — the
+// unit the paper's figures 3–7 plot.
+type IterRecord struct {
+	Index    int
+	Start    float64
+	Duration float64
+	Nodes    int // live nodes when the iteration completed
+}
+
+// PeriodRecord is one coordinator tick.
+type PeriodRecord struct {
+	Time    float64
+	WAE     float64
+	Nodes   int
+	Action  string // core.Action string, "" when idle
+	Detail  string
+	Added   int
+	Removed int
+}
+
+// Annotation marks a scenario event on the time axis.
+type Annotation struct {
+	Time  float64
+	Label string
+}
+
+// Result is everything a run produces.
+type Result struct {
+	Completed bool
+	Runtime   float64 // time the last iteration finished
+
+	Iterations  []IterRecord
+	Periods     []PeriodRecord
+	Annotations []Annotation
+
+	// Aggregate node-time accounting across the whole run (seconds).
+	BusySec, IdleSec, IntraSec, InterSec, BenchSec float64
+
+	// NodeSeconds is the integral of live nodes over time — the grid
+	// capacity the run consumed. The varying-parallelism scenario's win
+	// is here: adaptation releases capacity the application cannot use.
+	NodeSeconds float64
+
+	// FinalNodes is the live node count at completion.
+	FinalNodes int
+
+	// PeakNodes is the maximum concurrently live node count.
+	PeakNodes int
+
+	// Learned requirements (adaptive runs).
+	MinBandwidth        float64
+	BlacklistedClusters []core.ClusterID
+
+	// UsedClusters lists every cluster that hosted a participant at any
+	// point of the run, sorted.
+	UsedClusters []core.ClusterID
+}
+
+// MeanIterDuration averages iteration durations over [from, to).
+func (r *Result) MeanIterDuration(from, to int) float64 {
+	if to > len(r.Iterations) {
+		to = len(r.Iterations)
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from >= to {
+		return 0
+	}
+	sum := 0.0
+	for _, it := range r.Iterations[from:to] {
+		sum += it.Duration
+	}
+	return sum / float64(to-from)
+}
+
+// MaxIterDuration returns the longest iteration in [from, to).
+func (r *Result) MaxIterDuration(from, to int) float64 {
+	if to > len(r.Iterations) {
+		to = len(r.Iterations)
+	}
+	max := 0.0
+	for i := from; i >= 0 && i < to; i++ {
+		if d := r.Iterations[i].Duration; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// BenchOverhead is the fraction of all node time spent benchmarking —
+// the adaptivity overhead scenario 1 measures.
+func (r *Result) BenchOverhead() float64 {
+	total := r.BusySec + r.IdleSec + r.IntraSec + r.InterSec + r.BenchSec
+	if total == 0 {
+		return 0
+	}
+	return r.BenchSec / total
+}

@@ -1,0 +1,352 @@
+package des
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/vtime"
+)
+
+// nodeIdle is the node's dispatch loop: run a due benchmark, else pop
+// the newest task off the own end of the deque (splitting it down to a
+// leaf, which fills the deque with the subtree's other halves — the
+// work-first execution order of Satin/Cilk), else go stealing.
+func (s *Sim) nodeIdle(n *simNode) {
+	if s.done || n.gone() || !n.joined || n.busy() || s.phase != phaseCompute {
+		return
+	}
+	if n.benchPending {
+		s.startBench(n)
+		return
+	}
+	if len(n.deque) > 0 {
+		t := n.deque[len(n.deque)-1]
+		n.deque = n.deque[:len(n.deque)-1]
+		// Split down to a leaf: each split pushes the sibling subtree
+		// onto the steal side of the computation (the front stays the
+		// oldest = biggest task, which is what thieves take).
+		for s.p.Spec.ShouldSplit(t.work) {
+			a, b := s.p.Spec.Split(t.work, s.k.Rand())
+			n.deque = append(n.deque, simTask{work: b})
+			s.outstanding++
+			t = simTask{work: a}
+		}
+		s.execute(n, t)
+		return
+	}
+	s.tryStealing(n)
+}
+
+// execute runs a leaf to completion; leaves are not preemptible, which
+// is why a big leaf on a heavily loaded node produces the long
+// end-of-iteration tails of the paper's scenario 3.
+func (s *Sim) execute(n *simNode, t simTask) {
+	dur := t.work / n.effSpeed()
+	n.curWork = t.work
+	n.busyUntil = s.k.Now() + vtime.Time(dur)
+	n.curDone = s.k.After(dur, func() {
+		n.curDone = nil
+		n.curWork = 0
+		n.lastWorkAt = s.k.Now()
+		s.addTime(n, metrics.Busy, dur)
+		s.outstanding--
+		if s.outstanding == 0 && s.phase == phaseCompute {
+			s.endIteration()
+			return
+		}
+		s.nodeIdle(n)
+	})
+}
+
+// tryStealing implements the configured steal policy. The default is
+// cluster-aware random work stealing (CRS): one asynchronous wide-area
+// steal stays outstanding while the node issues synchronous local
+// steals, hiding WAN latency behind LAN attempts. The StealRandom
+// ablation picks victims uniformly and pays every WAN round trip
+// synchronously.
+func (s *Sim) tryStealing(n *simNode) {
+	if s.done || n.gone() || !n.joined || n.busy() || s.phase != phaseCompute || len(n.deque) > 0 {
+		return
+	}
+	if s.p.StealPolicy == StealRandom {
+		if !n.localOut {
+			if v := s.anyVictim(n); v != nil {
+				n.localOut = true
+				s.sendSteal(n, v, v.cluster != n.cluster, false)
+			} else {
+				s.scheduleRetry(n)
+			}
+		}
+		return
+	}
+	if !n.wanOut {
+		if v := s.randomVictim(n, false); v != nil {
+			n.wanOut = true
+			s.sendSteal(n, v, true, true)
+		}
+	}
+	if !n.localOut {
+		if v := s.randomVictim(n, true); v != nil {
+			n.localOut = true
+			s.sendSteal(n, v, false, false)
+		} else if !n.wanOut {
+			// Nobody to steal from at all: back off and retry.
+			s.scheduleRetry(n)
+		}
+	}
+}
+
+// anyVictim picks a uniform random victim regardless of cluster.
+func (s *Sim) anyVictim(n *simNode) *simNode {
+	var cands []*simNode
+	for _, v := range s.order {
+		if v != n && v.joined {
+			cands = append(cands, v)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	return cands[s.k.Rand().Intn(len(cands))]
+}
+
+// randomVictim picks a random live participant, local or remote.
+func (s *Sim) randomVictim(n *simNode, local bool) *simNode {
+	var cands []*simNode
+	for _, v := range s.order {
+		if v == n || !v.joined {
+			continue
+		}
+		if local == (v.cluster == n.cluster) {
+			cands = append(cands, v)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	return cands[s.k.Rand().Intn(len(cands))]
+}
+
+// scheduleRetry arms an exponential-backoff re-attempt so an idle node
+// keeps probing for work without flooding the event queue.
+func (s *Sim) scheduleRetry(n *simNode) {
+	if n.retry != nil {
+		return
+	}
+	backoff := 0.002 * float64(int(1)<<min(n.failStreak, 7))
+	if backoff > 0.25 {
+		backoff = 0.25
+	}
+	n.retry = s.k.After(backoff, func() {
+		n.retry = nil
+		s.nodeIdle(n)
+	})
+}
+
+// sendSteal delivers a steal request from thief n to victim v. The
+// request is a small control message (latency only); the victim
+// serialises request handling (a loaded victim's runtime thread runs
+// rarely, so its handling delay scales with the competing load); a
+// stolen job's payload then travels back through the real links.
+func (s *Sim) sendSteal(n, v *simNode, inter, wanSlot bool) {
+	lat := s.net.Latency(n.cluster, v.cluster)
+	issuedAt := s.k.Now()
+	s.k.After(lat, func() {
+		if s.done {
+			return
+		}
+		if v.gone() || !v.joined {
+			// Connection refused — fast failure back to the thief.
+			s.k.After(lat, func() { s.stealReply(n, nil, 2*lat, v.cluster, 0, 0, inter, wanSlot) })
+			return
+		}
+		// The victim handles the request at the next poll point: after
+		// its current leaf or benchmark (the runtime only polls between
+		// tasks) and after previously queued requests, with a handling
+		// delay that competing load stretches (a loaded machine's
+		// runtime thread is scheduled rarely).
+		handleAt := s.k.Now()
+		if v.stealFree > handleAt {
+			handleAt = v.stealFree
+		}
+		if v.busyUntil > handleAt {
+			handleAt = v.busyUntil
+		}
+		v.stealFree = handleAt + vtime.Time(s.p.PollInterval*(1+v.load))
+		s.k.At(v.stealFree, func() {
+			if s.done {
+				return
+			}
+			var stolen *simTask
+			if !v.gone() && s.phase == phaseCompute && len(v.deque) > 0 {
+				t := v.deque[0] // steal the oldest = biggest subtree
+				v.deque = v.deque[1:]
+				stolen = &t
+			}
+			if stolen == nil {
+				s.k.After(lat, func() { s.stealReply(n, nil, 2*lat, v.cluster, 0, 0, inter, wanSlot) })
+				return
+			}
+			handover := s.k.Now()
+			// The job carries its data: a big subtree entering a
+			// badly connected cluster drags its body share through
+			// the thin uplink.
+			jobBytes := s.p.Spec.JobBytes(stolen.work)
+			var deliverAt vtime.Time
+			if inter {
+				deliverAt = s.net.Inter(handover, v.cluster, n.cluster, jobBytes)
+			} else {
+				deliverAt = s.net.Intra(handover, v.cluster, jobBytes)
+			}
+			// Only genuine network time counts as communication: the
+			// request latency plus the reply's transfer time (including
+			// any queueing on a congested uplink). Time spent waiting
+			// for the victim's poll point is idle time at the thief.
+			wireSec := lat + float64(deliverAt-handover)
+			s.k.At(deliverAt, func() {
+				commSec := wireSec
+				if wanSlot && n.lastWorkAt > issuedAt {
+					// The asynchronous wide-area steal overlapped with
+					// local work — which is CRS's whole point — so the
+					// transfer cost the thief only the round trips, not
+					// the wire time. A starved thief (no work completed
+					// since issuing) truly waited on the WAN and is
+					// charged in full. The wire time still feeds the
+					// pair-bandwidth estimate either way.
+					commSec = 2 * lat
+				}
+				s.stealReply(n, stolen, commSec, v.cluster, wireSec, jobBytes, inter, wanSlot)
+			})
+		})
+	})
+}
+
+// stealReply lands at the thief: either a job or a failure. commSec is
+// the attempt's network time, booked as intra- or inter-cluster
+// communication — the signal the coordinator's badness formula keys on
+// (the rest of the attempt is implicit idle time).
+func (s *Sim) stealReply(n *simNode, t *simTask, commSec float64, peer core.ClusterID, wireSec, wireBytes float64, inter, wanSlot bool) {
+	if wanSlot {
+		n.wanOut = false
+	} else {
+		n.localOut = false
+	}
+	if s.done {
+		if t != nil {
+			s.requeue(*t)
+		}
+		return
+	}
+	if n.gone() {
+		if t != nil {
+			// The thief left while the job was in flight: the job is
+			// orphaned and gets recomputed via the master.
+			s.requeue(*t)
+		}
+		return
+	}
+	bucket := metrics.Intra
+	if inter {
+		bucket = metrics.Inter
+	}
+	s.addTime(n, bucket, commSec)
+	if t == nil {
+		n.failStreak++
+		if !n.busy() && len(n.deque) == 0 && s.phase == phaseCompute {
+			s.scheduleRetry(n)
+		}
+		return
+	}
+	if inter {
+		n.acc.AddInterBytes(wireBytes)
+		if wireSec > 0 && wireBytes > 0 {
+			// One observed data transfer with the victim's cluster —
+			// the pair-bandwidth estimation the coordinator's cluster
+			// eviction rule runs on.
+			n.acc.AddLinkSample(peer, wireSec, wireBytes)
+		}
+	}
+	n.failStreak = 0
+	if s.phase != phaseCompute {
+		// Iteration ended while the job was in flight — cannot happen
+		// for live jobs (they count as outstanding), but guard anyway.
+		s.requeue(*t)
+		return
+	}
+	n.deque = append(n.deque, *t)
+	s.nodeIdle(n)
+}
+
+// ---- benchmarking and monitoring ----
+
+// startBench runs the application-specific speed benchmark: the
+// application itself with a small problem size (BenchWork). Its
+// duration on the current effective speed *is* the measurement.
+func (s *Sim) startBench(n *simNode) {
+	n.benchPending = false
+	n.benching = true
+	dur := s.p.Mon.BenchWork / n.effSpeed()
+	n.busyUntil = s.k.Now() + vtime.Time(dur)
+	s.k.After(dur, func() {
+		n.benching = false
+		if n.gone() || s.done {
+			return
+		}
+		s.addTime(n, metrics.Bench, dur)
+		noise := 1 + s.p.Mon.SpeedNoise*(2*s.k.Rand().Float64()-1)
+		n.acc.SetSpeed(n.effSpeed() * noise)
+		n.loadAtBench = n.load
+		// Re-run at the frequency the overhead budget allows: a run of
+		// dur seconds every dur/budget seconds costs exactly budget.
+		interval := dur / s.p.Mon.BenchBudget
+		var rearm func()
+		rearm = func() {
+			n.benchTimer = s.k.After(interval, func() {
+				n.benchTimer = nil
+				if n.gone() || s.done {
+					return
+				}
+				if s.p.Mon.LoadAware && n.load == n.loadAtBench {
+					// Load-aware optimisation (§3.2): the OS-level load
+					// did not change, so the speed cannot have either —
+					// skip the run and keep the previous measurement.
+					rearm()
+					return
+				}
+				n.benchPending = true
+				if !n.busy() && s.phase == phaseCompute {
+					s.nodeIdle(n)
+				}
+			})
+		}
+		rearm()
+		if s.phase == phaseSeq && n == s.master {
+			s.startSeq()
+			return
+		}
+		s.nodeIdle(n)
+	})
+}
+
+// scheduleMonitor arms a node's periodic statistics snapshot. Each node
+// keeps its own period phase (clocks are not synchronised with the
+// coordinator, as in the paper); reports travel to the coordinator
+// with normal message latency.
+func (s *Sim) scheduleMonitor(n *simNode) {
+	n.monTimer = s.k.After(s.p.Mon.Period, func() {
+		n.monTimer = nil
+		if n.gone() || s.done {
+			return
+		}
+		rep := n.acc.Snapshot(float64(s.k.Now()))
+		lat := s.net.Latency(n.cluster, s.coordClst)
+		s.k.After(lat, func() {
+			if s.done {
+				return
+			}
+			if _, live := s.nodes[n.id]; live {
+				s.reports[n.id] = rep
+			}
+		})
+		s.scheduleMonitor(n)
+	})
+}

@@ -1,0 +1,100 @@
+package des
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+)
+
+// TestProbeClusterInterComm logs the per-cluster inter-communication
+// fractions the coordinator sees in the bandwidth scenarios — the data
+// behind the ClusterDropInterComm calibration in core.DefaultConfig.
+func TestProbeClusterInterComm(t *testing.T) {
+	probe := func(name string, p Params) {
+		p.Mon = DefaultMonitor()
+		cfg := core.DefaultConfig()
+		cfg.ClusterDropInterComm = 0.999 // never fires; keep nodes in place
+		p.Adapt = &cfg
+		p.MonitorOnly = true
+		p.Spec.Iterations = 18 // ~one monitoring period
+		s, err := newProbeSim(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.k.Run()
+		var stats []core.NodeStats
+		for _, rep := range s.LastReports() {
+			stats = append(stats, rep.Stats())
+		}
+		t.Logf("--- %s (WAE %.3f)", name, core.WeightedAverageEfficiency(stats))
+		for _, c := range core.AggregateClusters(stats) {
+			t.Logf("cluster %-5s nodes=%2d relSpeed=%.2f interComm=%.3f meanOverhead=%.3f",
+				c.Cluster, len(c.Nodes), c.RelSpeed, c.InterComm, c.MeanOverhead)
+		}
+		for pair, sample := range core.PairBandwidths(stats, 0) {
+			t.Logf("pair %s<->%s  bw=%.0f B/s (%.0f B over %.2f s)",
+				pair[0], pair[1], sample.Bandwidth(), sample.Bytes, sample.Seconds)
+		}
+	}
+
+	p4 := baseParams(25)
+	p4.Events = []Injection{{At: 1, Kind: InjShapeUplink, Cluster: "fs2", Bandwidth: 100e3}}
+	probe("scenario 4 (shaped fs2)", p4)
+
+	p1 := baseParams(25)
+	probe("scenario 1 (healthy)", p1)
+
+	p3 := baseParams(25)
+	p3.Events = []Injection{{At: 1, Kind: InjSetLoad, Cluster: "fs1", Load: 20}}
+	probe("scenario 3 (loaded fs1)", p3)
+
+	p8 := baseParams(25)
+	p8.Topo.Clusters[2].UplinkBandwidth = 100e3 // a natively thin uplink
+	probe("scenario 8-like (dsl uplink)", p8)
+
+	if sc, ok := probeScenario("8"); ok {
+		probe("scenario 8 exact", sc)
+	}
+}
+
+// newProbeSim runs a full simulation and returns the Sim for
+// inspection (the reports map survives the run).
+func newProbeSim(p Params) (*Sim, error) {
+	res, s, err := runReturningSim(p)
+	_ = res
+	return s, err
+}
+
+// probeScenario rebuilds a named expt scenario's params without
+// importing expt (which would cycle); only scenario 8 is needed.
+func probeScenario(id string) (Params, bool) {
+	if id != "8" {
+		return Params{}, false
+	}
+	p := baseParams(25)
+	dsl := func(cid string) topoCluster {
+		return topoCluster{ID: cid, Nodes: 12, Uplink: 100e3}
+	}
+	_ = dsl
+	// Mirror expt scenario 8's topology inline.
+	p.Topo.Clusters = p.Topo.Clusters[:0]
+	p.Topo.Clusters = append(p.Topo.Clusters, mkCluster("fs0", 24, 60e6),
+		mkCluster("fs1", 12, 60e6), mkCluster("dsl1", 12, 100e3), mkCluster("dsl2", 12, 100e3))
+	p.Initial = []Alloc{{Cluster: "fs0", Count: 12}, {Cluster: "fs1", Count: 12}, {Cluster: "dsl1", Count: 12}}
+	return p, true
+}
+
+func mkCluster(id string, n int, uplink float64) topo.Cluster {
+	return topo.Cluster{
+		ID: core.ClusterID(id), Nodes: n, Speed: 1,
+		LANLatency: topo.LANLatency, LANBandwidth: topo.FastEthernetBandwidth,
+		WANLatency: topo.WANLatencyOneWay, UplinkBandwidth: uplink,
+	}
+}
+
+type topoCluster struct {
+	ID     string
+	Nodes  int
+	Uplink float64
+}

@@ -1,0 +1,170 @@
+package des
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func adaptive(p Params) Params {
+	p.Mon = DefaultMonitor()
+	cfg := core.DefaultConfig()
+	p.Adapt = &cfg
+	return p
+}
+
+func annotations(res *Result) string {
+	var sb strings.Builder
+	for _, a := range res.Annotations {
+		sb.WriteString(a.Label)
+		sb.WriteString("; ")
+	}
+	return sb.String()
+}
+
+// Scenario 2 dynamics: started on far too few nodes, the adaptive run
+// must grow towards the efficient allocation and speed iterations up.
+func TestScenarioExpandFromTooFewNodes(t *testing.T) {
+	p := baseParams(60)
+	p.Initial = []Alloc{{Cluster: "fs0", Count: 8}}
+	p = adaptive(p)
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("did not complete; iters=%d", len(res.Iterations))
+	}
+	for _, pr := range res.Periods {
+		t.Logf("t=%.0f WAE=%.3f nodes=%d action=%s added=%d removed=%d",
+			pr.Time, pr.WAE, pr.Nodes, pr.Action, pr.Added, pr.Removed)
+	}
+	first := res.MeanIterDuration(0, 5)
+	last := res.MeanIterDuration(len(res.Iterations)-5, len(res.Iterations))
+	t.Logf("first5=%.1fs last5=%.1fs final=%d peak=%d runtime=%.0f",
+		first, last, res.FinalNodes, res.PeakNodes, res.Runtime)
+	if res.FinalNodes < 24 {
+		t.Errorf("expected expansion to >=24 nodes, final=%d", res.FinalNodes)
+	}
+	if last >= first*0.7 {
+		t.Errorf("iterations should speed up substantially: first5=%.1f last5=%.1f", first, last)
+	}
+}
+
+// Scenario 3 dynamics: a heavy competing load lands on one cluster;
+// the coordinator must evict the overloaded nodes and replace them.
+func TestScenarioOverloadedCPUs(t *testing.T) {
+	p := baseParams(80)
+	p = adaptive(p)
+	p.Events = []Injection{{
+		At: 200, Kind: InjSetLoad, Cluster: "fs1", Load: 20,
+		Label: "cpu load introduced",
+	}}
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range res.Periods {
+		t.Logf("t=%.0f WAE=%.3f nodes=%d action=%s added=%d removed=%d detail=%s",
+			pr.Time, pr.WAE, pr.Nodes, pr.Action, pr.Added, pr.Removed, pr.Detail)
+	}
+	t.Logf("annotations: %s", annotations(res))
+	t.Logf("final=%d runtime=%.0f completed=%v", res.FinalNodes, res.Runtime, res.Completed)
+	if !res.Completed {
+		t.Fatal("did not complete")
+	}
+	if !strings.Contains(annotations(res), "removed") {
+		t.Error("expected the coordinator to remove overloaded nodes")
+	}
+	// The overloaded nodes must eventually be replaced: final node
+	// count back to a healthy level.
+	if res.FinalNodes < 24 {
+		t.Errorf("final nodes = %d, want recovery to >=24", res.FinalNodes)
+	}
+}
+
+// Scenario 4 dynamics: one cluster's uplink is throttled to ~100 KB/s;
+// the coordinator must drop the whole cluster, learn a bandwidth
+// requirement, and re-expand elsewhere.
+func TestScenarioThrottledUplink(t *testing.T) {
+	p := baseParams(60)
+	p = adaptive(p)
+	p.Events = []Injection{{
+		At: 1, Kind: InjShapeUplink, Cluster: "fs2", Bandwidth: 100e3,
+		Label: "one cluster is badly connected",
+	}}
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range res.Periods {
+		t.Logf("t=%.0f WAE=%.3f nodes=%d action=%s added=%d removed=%d detail=%s",
+			pr.Time, pr.WAE, pr.Nodes, pr.Action, pr.Added, pr.Removed, pr.Detail)
+	}
+	t.Logf("annotations: %s", annotations(res))
+	t.Logf("final=%d runtime=%.0f blacklisted=%v minBW=%.0f",
+		res.FinalNodes, res.Runtime, res.BlacklistedClusters, res.MinBandwidth)
+	if !res.Completed {
+		t.Fatal("did not complete")
+	}
+	found := false
+	for _, c := range res.BlacklistedClusters {
+		if c == "fs2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected fs2 to be blacklisted")
+	}
+	if res.MinBandwidth <= 0 {
+		t.Error("expected a learned minimum-bandwidth requirement")
+	}
+}
+
+// Scenario 6 dynamics: two of three clusters crash; the adaptive run
+// replaces the lost capacity and finishes.
+func TestScenarioCrash(t *testing.T) {
+	p := baseParams(80)
+	p = adaptive(p)
+	p.Events = []Injection{
+		{At: 500, Kind: InjCrash, Cluster: "fs1", Label: "cluster fs1 crashed"},
+		{At: 500, Kind: InjCrash, Cluster: "fs2", Label: "cluster fs2 crashed"},
+	}
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range res.Periods {
+		t.Logf("t=%.0f WAE=%.3f nodes=%d action=%s added=%d removed=%d",
+			pr.Time, pr.WAE, pr.Nodes, pr.Action, pr.Added, pr.Removed)
+	}
+	t.Logf("final=%d runtime=%.0f completed=%v", res.FinalNodes, res.Runtime, res.Completed)
+	if !res.Completed {
+		t.Fatal("did not complete")
+	}
+	if res.FinalNodes < 24 {
+		t.Errorf("final nodes = %d, want the crash capacity largely replaced (>=24)", res.FinalNodes)
+	}
+}
+
+// Non-adaptive comparison for the crash: capacity stays lost.
+func TestScenarioCrashNonAdaptive(t *testing.T) {
+	p := baseParams(40)
+	p.Events = []Injection{
+		{At: 300, Kind: InjCrash, Cluster: "fs1"},
+		{At: 300, Kind: InjCrash, Cluster: "fs2"},
+	}
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("did not complete; iters=%d runtime=%.0f", len(res.Iterations), res.Runtime)
+	}
+	if res.FinalNodes != 12 {
+		t.Errorf("final nodes = %d, want 12 (no replacements without adaptation)", res.FinalNodes)
+	}
+	t.Logf("runtime=%.0f meanIterAfter=%.1f", res.Runtime,
+		res.MeanIterDuration(len(res.Iterations)-5, len(res.Iterations)))
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/des"
+)
+
+// WriteIterationsSVG renders a scenario's iteration-duration series as
+// a self-contained SVG line chart in the style of the paper's Figures
+// 3–7: iteration number on the x axis, duration in seconds on the y
+// axis, one line per variant, with the coordinator's annotations
+// marked on the adaptive run's timeline.
+func WriteIterationsSVG(w io.Writer, title string, variants map[string]*des.Result) {
+	const (
+		width   = 720
+		height  = 380
+		marginL = 56
+		marginR = 16
+		marginT = 40
+		marginB = 44
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	names := make([]string, 0, len(variants))
+	maxIter, maxDur := 1, 0.0
+	for name, res := range variants {
+		names = append(names, name)
+		if len(res.Iterations) > maxIter {
+			maxIter = len(res.Iterations)
+		}
+		for _, it := range res.Iterations {
+			if it.Duration > maxDur {
+				maxDur = it.Duration
+			}
+		}
+	}
+	sort.Strings(names)
+	if maxDur == 0 {
+		maxDur = 1
+	}
+	maxDur *= 1.08 // headroom
+
+	x := func(iter int) float64 {
+		return marginL + plotW*float64(iter)/float64(maxIter-1+1)
+	}
+	y := func(dur float64) float64 {
+		return marginT + plotH*(1-dur/maxDur)
+	}
+
+	colors := []string{"#c0392b", "#2471a3", "#1e8449", "#8e44ad"}
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(w, `<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`+"\n", marginL, xmlEscape(title))
+
+	// Axes.
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	// Y ticks.
+	for i := 0; i <= 4; i++ {
+		v := maxDur * float64(i) / 4
+		yy := y(v)
+		fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, yy, width-marginR, yy)
+		fmt.Fprintf(w, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%.0f</text>`+"\n",
+			marginL-6, yy+4, v)
+	}
+	// X ticks (every ~10 iterations).
+	step := maxIter / 6
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < maxIter; i += step {
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%d</text>`+"\n",
+			x(i), height-marginB+16, i)
+	}
+	fmt.Fprintf(w, `<text x="%d" y="%d" font-size="12" text-anchor="middle">iteration</text>`+"\n",
+		marginL+int(plotW/2), height-8)
+	fmt.Fprintf(w, `<text x="14" y="%d" font-size="12" transform="rotate(-90 14 %d)" text-anchor="middle">iteration duration (s)</text>`+"\n",
+		marginT+int(plotH/2), marginT+int(plotH/2))
+
+	// Series.
+	for vi, name := range names {
+		res := variants[name]
+		color := colors[vi%len(colors)]
+		points := ""
+		for i, it := range res.Iterations {
+			points += fmt.Sprintf("%.1f,%.1f ", x(i), y(it.Duration))
+		}
+		fmt.Fprintf(w, `<polyline fill="none" stroke="%s" stroke-width="1.6" points="%s"/>`+"\n",
+			color, points)
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="12" height="3" fill="%s"/>`+"\n",
+			width-marginR-170, marginT+16*vi, color)
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n",
+			width-marginR-152, marginT+16*vi+4, xmlEscape(name))
+	}
+
+	// Annotations from the adaptive run, positioned by iteration start.
+	if ad, ok := variants["adaptive"]; ok {
+		for ai, ann := range ad.Annotations {
+			iter := iterAt(ad, ann.Time)
+			xx := x(iter)
+			fmt.Fprintf(w, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#999" stroke-dasharray="3,3"/>`+"\n",
+				xx, marginT, xx, height-marginB)
+			fmt.Fprintf(w, `<text x="%.1f" y="%d" font-size="9" fill="#555">%s</text>`+"\n",
+				xx+3, marginT+12+(ai%4)*11, xmlEscape(truncate(ann.Label, 38)))
+		}
+	}
+	fmt.Fprintln(w, `</svg>`)
+}
+
+// iterAt finds the iteration index running at time t.
+func iterAt(res *des.Result, t float64) int {
+	for i, it := range res.Iterations {
+		if it.Start+it.Duration >= t {
+			return i
+		}
+	}
+	return len(res.Iterations) - 1
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func xmlEscape(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '<':
+			out = append(out, []rune("&lt;")...)
+		case '>':
+			out = append(out, []rune("&gt;")...)
+		case '&':
+			out = append(out, []rune("&amp;")...)
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

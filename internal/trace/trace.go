@@ -1,0 +1,146 @@
+// Package trace renders experiment results the way the paper reports
+// them: the Figure-1 runtime table, per-iteration duration series
+// (Figures 3–7) as aligned text or CSV, and the coordinator's period
+// log. Output goes to any io.Writer, so the same renderers back the
+// gridsim CLI, the test logs, and EXPERIMENTS.md.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/des"
+)
+
+// RuntimeTable writes the Figure-1 style table: one row per scenario,
+// columns for the three runtime variants and the derived numbers.
+// rows maps scenario label -> variant -> runtime seconds; missing
+// variants render as "-".
+type RuntimeRow struct {
+	Label       string
+	NoAdapt     float64
+	Adaptive    float64
+	MonitorOnly float64 // 0 = not run
+}
+
+// Improvement is the adaptive runtime reduction vs the plain run.
+func (r RuntimeRow) Improvement() float64 {
+	if r.NoAdapt == 0 {
+		return 0
+	}
+	return (r.NoAdapt - r.Adaptive) / r.NoAdapt
+}
+
+// WriteRuntimeTable renders rows as a markdown table.
+func WriteRuntimeTable(w io.Writer, rows []RuntimeRow) {
+	fmt.Fprintln(w, "| scenario | runtime 1 (no adapt) | runtime 2 (adaptive) | runtime 3 (monitor only) | improvement |")
+	fmt.Fprintln(w, "|---|---|---|---|---|")
+	for _, r := range rows {
+		mo := "-"
+		if r.MonitorOnly > 0 {
+			mo = fmt.Sprintf("%.0f s", r.MonitorOnly)
+		}
+		fmt.Fprintf(w, "| %s | %.0f s | %.0f s | %s | %.0f%% |\n",
+			r.Label, r.NoAdapt, r.Adaptive, mo, r.Improvement()*100)
+	}
+}
+
+// WriteIterationsCSV writes one scenario's iteration-duration series
+// for multiple variants side by side (the Figures 3–7 data): columns
+// iteration, then one duration column per variant.
+func WriteIterationsCSV(w io.Writer, variants map[string]*des.Result) {
+	names := make([]string, 0, len(variants))
+	for name := range variants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "iteration")
+	for _, name := range names {
+		fmt.Fprintf(w, ",%s_duration_s,%s_nodes", name, name)
+	}
+	fmt.Fprintln(w)
+	maxIters := 0
+	for _, res := range variants {
+		if len(res.Iterations) > maxIters {
+			maxIters = len(res.Iterations)
+		}
+	}
+	for i := 0; i < maxIters; i++ {
+		fmt.Fprintf(w, "%d", i)
+		for _, name := range names {
+			res := variants[name]
+			if i < len(res.Iterations) {
+				it := res.Iterations[i]
+				fmt.Fprintf(w, ",%.3f,%d", it.Duration, it.Nodes)
+			} else {
+				fmt.Fprintf(w, ",,")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WritePeriods logs the coordinator's view: time, WAE, node count and
+// the action taken — the trajectory the paper narrates per scenario.
+func WritePeriods(w io.Writer, res *des.Result) {
+	fmt.Fprintln(w, "time_s  WAE    nodes  action")
+	for _, p := range res.Periods {
+		action := p.Action
+		if action == "" {
+			action = "(monitor)"
+		}
+		extra := ""
+		if p.Added > 0 {
+			extra = fmt.Sprintf(" +%d", p.Added)
+		}
+		if p.Removed > 0 {
+			extra += fmt.Sprintf(" -%d", p.Removed)
+		}
+		fmt.Fprintf(w, "%6.0f  %.3f  %5d  %s%s\n", p.Time, p.WAE, p.Nodes, action, extra)
+	}
+}
+
+// WriteAnnotations lists the scenario's injected events and the
+// coordinator's reactions on the time axis.
+func WriteAnnotations(w io.Writer, res *des.Result) {
+	for _, a := range res.Annotations {
+		fmt.Fprintf(w, "%7.0f s  %s\n", a.Time, a.Label)
+	}
+}
+
+// Sparkline renders a coarse text plot of iteration durations — enough
+// to see the Figures 3–7 shapes in a terminal.
+func Sparkline(res *des.Result, width int) string {
+	if len(res.Iterations) == 0 {
+		return ""
+	}
+	max := 0.0
+	for _, it := range res.Iterations {
+		if it.Duration > max {
+			max = it.Duration
+		}
+	}
+	if max == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var sb strings.Builder
+	step := 1
+	if width > 0 && len(res.Iterations) > width {
+		step = (len(res.Iterations) + width - 1) / width
+	}
+	for i := 0; i < len(res.Iterations); i += step {
+		d := res.Iterations[i].Duration
+		idx := int(d / max * float64(len(levels)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		sb.WriteRune(levels[idx])
+	}
+	return sb.String()
+}

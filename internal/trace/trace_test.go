@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/des"
+)
+
+func sampleResult() *des.Result {
+	return &des.Result{
+		Completed: true,
+		Runtime:   100,
+		Iterations: []des.IterRecord{
+			{Index: 0, Start: 0, Duration: 10, Nodes: 4},
+			{Index: 1, Start: 10, Duration: 20, Nodes: 4},
+			{Index: 2, Start: 30, Duration: 5, Nodes: 6},
+		},
+		Periods: []des.PeriodRecord{
+			{Time: 50, WAE: 0.42, Nodes: 4, Action: "add", Added: 2},
+			{Time: 100, WAE: 0.38, Nodes: 6},
+		},
+		Annotations: []des.Annotation{{Time: 12, Label: "load introduced"}},
+	}
+}
+
+func TestWriteRuntimeTable(t *testing.T) {
+	var sb strings.Builder
+	WriteRuntimeTable(&sb, []RuntimeRow{
+		{Label: "s1", NoAdapt: 100, Adaptive: 60, MonitorOnly: 104},
+		{Label: "s2", NoAdapt: 200, Adaptive: 100},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "| s1 | 100 s | 60 s | 104 s | 40% |") {
+		t.Errorf("row s1 wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "| s2 | 200 s | 100 s | - | 50% |") {
+		t.Errorf("row s2 wrong:\n%s", out)
+	}
+}
+
+func TestRuntimeRowImprovement(t *testing.T) {
+	if (RuntimeRow{}).Improvement() != 0 {
+		t.Error("zero row should have zero improvement")
+	}
+	r := RuntimeRow{NoAdapt: 100, Adaptive: 75}
+	if r.Improvement() != 0.25 {
+		t.Errorf("improvement = %v", r.Improvement())
+	}
+}
+
+func TestWriteIterationsCSV(t *testing.T) {
+	var sb strings.Builder
+	short := &des.Result{Iterations: []des.IterRecord{{Index: 0, Duration: 7, Nodes: 2}}}
+	WriteIterationsCSV(&sb, map[string]*des.Result{
+		"adaptive": sampleResult(),
+		"no-adapt": short,
+	})
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 { // header + 3 iterations
+		t.Fatalf("got %d lines:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "iteration,adaptive_duration_s,adaptive_nodes,no-adapt_duration_s,no-adapt_nodes" {
+		t.Errorf("header = %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,10.000,4,7.000,2") {
+		t.Errorf("row 0 = %s", lines[1])
+	}
+	// The shorter variant's columns go empty past its end.
+	if !strings.HasPrefix(lines[2], "1,20.000,4,,") {
+		t.Errorf("row 1 = %s", lines[2])
+	}
+}
+
+func TestWritePeriodsAndAnnotations(t *testing.T) {
+	var sb strings.Builder
+	WritePeriods(&sb, sampleResult())
+	out := sb.String()
+	if !strings.Contains(out, "0.420") || !strings.Contains(out, "add +2") {
+		t.Errorf("periods output:\n%s", out)
+	}
+	if !strings.Contains(out, "(monitor)") {
+		t.Errorf("empty action should render as (monitor):\n%s", out)
+	}
+	sb.Reset()
+	WriteAnnotations(&sb, sampleResult())
+	if !strings.Contains(sb.String(), "load introduced") {
+		t.Errorf("annotations output: %s", sb.String())
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	res := sampleResult()
+	s := Sparkline(res, 80)
+	if len([]rune(s)) != 3 {
+		t.Fatalf("sparkline %q should have 3 cells", s)
+	}
+	runes := []rune(s)
+	if runes[1] <= runes[0] || runes[2] >= runes[0] {
+		t.Errorf("sparkline shape wrong: %q (20 > 10 > 5)", s)
+	}
+	if Sparkline(&des.Result{}, 10) != "" {
+		t.Error("empty result should give empty sparkline")
+	}
+	// Width compression.
+	long := &des.Result{}
+	for i := 0; i < 100; i++ {
+		long.Iterations = append(long.Iterations, des.IterRecord{Duration: 1})
+	}
+	if got := len([]rune(Sparkline(long, 50))); got > 50 {
+		t.Errorf("sparkline not compressed: %d cells", got)
+	}
+}
+
+func TestWriteIterationsSVG(t *testing.T) {
+	var sb strings.Builder
+	WriteIterationsSVG(&sb, "Scenario 4 <test>", map[string]*des.Result{
+		"adaptive": sampleResult(),
+		"no-adapt": {Iterations: []des.IterRecord{{Duration: 12}, {Duration: 13}}},
+	})
+	out := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "Scenario 4 &lt;test&gt;",
+		"adaptive", "no-adapt", "load introduced", "iteration duration"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("want 2 series, got %d", strings.Count(out, "<polyline"))
+	}
+	// Degenerate inputs must not panic or divide by zero.
+	sb.Reset()
+	WriteIterationsSVG(&sb, "empty", map[string]*des.Result{"x": {}})
+	if !strings.Contains(sb.String(), "</svg>") {
+		t.Error("empty-result SVG malformed")
+	}
+}

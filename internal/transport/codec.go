@@ -1,0 +1,34 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Encode gob-serialises v into a frame payload.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("transport: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-deserialises a frame payload into v (a pointer).
+func Decode(payload []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("transport: decode %T: %w", v, err)
+	}
+	return nil
+}
+
+// MustEncode is Encode for values that cannot fail (registered types);
+// it panics otherwise, which surfaces registration bugs immediately.
+func MustEncode(v any) []byte {
+	b, err := Encode(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

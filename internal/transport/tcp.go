@@ -1,0 +1,205 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPHub routes frames between endpoints connected over real sockets,
+// in the style of the Ibis registry/hub deployment: every endpoint
+// dials the hub, registers its name, and frames are forwarded by name.
+// A hub keeps the fabric NAT- and discovery-free, which is exactly why
+// the grid middleware the paper builds on used one.
+type TCPHub struct {
+	ln net.Listener
+
+	mu    sync.Mutex
+	conns map[string]*hubConn
+	done  bool
+}
+
+type hubConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	mu  sync.Mutex // serialises writes
+}
+
+// wire is the on-the-wire frame (registration uses Kind "\x00reg").
+type wire struct {
+	From    string
+	To      string
+	Kind    string
+	Payload []byte
+}
+
+const regKind = "\x00reg"
+
+// NewTCPHub starts a hub on addr ("127.0.0.1:0" for an ephemeral port).
+func NewTCPHub(addr string) (*TCPHub, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	h := &TCPHub{ln: ln, conns: make(map[string]*hubConn)}
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr returns the hub's listen address for clients to dial.
+func (h *TCPHub) Addr() string { return h.ln.Addr().String() }
+
+// Close stops the hub and disconnects everyone.
+func (h *TCPHub) Close() error {
+	h.mu.Lock()
+	h.done = true
+	for _, hc := range h.conns {
+		hc.c.Close()
+	}
+	h.conns = map[string]*hubConn{}
+	h.mu.Unlock()
+	return h.ln.Close()
+}
+
+func (h *TCPHub) acceptLoop() {
+	for {
+		c, err := h.ln.Accept()
+		if err != nil {
+			return
+		}
+		go h.serve(c)
+	}
+}
+
+func (h *TCPHub) serve(c net.Conn) {
+	dec := gob.NewDecoder(c)
+	hc := &hubConn{c: c, enc: gob.NewEncoder(c)}
+	var name string
+	defer func() {
+		if name != "" {
+			h.mu.Lock()
+			if h.conns[name] == hc {
+				delete(h.conns, name)
+			}
+			h.mu.Unlock()
+		}
+		c.Close()
+	}()
+	for {
+		var w wire
+		if err := dec.Decode(&w); err != nil {
+			return
+		}
+		if w.Kind == regKind {
+			name = w.From
+			h.mu.Lock()
+			if h.done {
+				h.mu.Unlock()
+				return
+			}
+			h.conns[name] = hc
+			h.mu.Unlock()
+			continue
+		}
+		h.mu.Lock()
+		dst := h.conns[w.To]
+		h.mu.Unlock()
+		if dst == nil {
+			continue // destination gone: frames are best-effort, like UDP-ish grid links
+		}
+		dst.mu.Lock()
+		err := dst.enc.Encode(&w)
+		dst.mu.Unlock()
+		if err != nil {
+			dst.c.Close()
+		}
+	}
+}
+
+// TCP is the Fabric whose endpoints dial a hub.
+type TCP struct {
+	addr string
+}
+
+// NewTCP returns a fabric for the hub at addr.
+func NewTCP(addr string) *TCP { return &TCP{addr: addr} }
+
+// Endpoint implements Fabric: it dials the hub and registers name.
+func (t *TCP) Endpoint(name string) (Endpoint, error) {
+	c, err := net.Dial("tcp", t.addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing hub: %w", err)
+	}
+	ep := &tcpEP{
+		name: name,
+		c:    c,
+		enc:  gob.NewEncoder(c),
+		dec:  gob.NewDecoder(c),
+	}
+	if err := ep.write(wire{From: name, Kind: regKind}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	go ep.readLoop()
+	return ep, nil
+}
+
+type tcpEP struct {
+	name string
+	c    net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+
+	wmu sync.Mutex
+	mu  sync.Mutex
+	h   Handler
+
+	closed bool
+}
+
+func (e *tcpEP) Name() string { return e.name }
+
+func (e *tcpEP) write(w wire) error {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	return e.enc.Encode(&w)
+}
+
+func (e *tcpEP) Send(to, kind string, payload []byte) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return e.write(wire{From: e.name, To: to, Kind: kind, Payload: payload})
+}
+
+func (e *tcpEP) SetHandler(h Handler) {
+	e.mu.Lock()
+	e.h = h
+	e.mu.Unlock()
+}
+
+func (e *tcpEP) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	return e.c.Close()
+}
+
+func (e *tcpEP) readLoop() {
+	for {
+		var w wire
+		if err := e.dec.Decode(&w); err != nil {
+			return
+		}
+		e.mu.Lock()
+		h := e.h
+		e.mu.Unlock()
+		if h != nil {
+			h(Message{From: w.From, To: w.To, Kind: w.Kind, Payload: w.Payload})
+		}
+	}
+}

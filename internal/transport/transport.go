@@ -1,0 +1,216 @@
+// Package transport is the messaging substrate of the real runtime —
+// the role the Ibis communication library plays in the paper. It
+// offers named endpoints exchanging typed, gob-encoded frames over two
+// interchangeable fabrics:
+//
+//   - InProc: an in-process fabric whose directed links carry
+//     configurable latency and bandwidth (token-bucket serialisation),
+//     used by tests, the examples, and the satin runtime's emulated
+//     multi-cluster deployments — including the traffic-shaping
+//     scenario (throttle one cluster's links at runtime);
+//   - TCP: a hub-routed fabric over real sockets (stdlib net), in the
+//     style of Ibis' registry/hub deployment, used when nodes run as
+//     separate processes.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Message is one delivered frame.
+type Message struct {
+	From    string
+	To      string
+	Kind    string
+	Payload []byte
+}
+
+// Handler consumes delivered frames. Handlers run on fabric goroutines
+// and must not block for long.
+type Handler func(Message)
+
+// Endpoint is one attached party.
+type Endpoint interface {
+	// Name returns the endpoint's fabric-unique name.
+	Name() string
+	// Send delivers a frame to the named endpoint asynchronously.
+	// Delivery order between one sender/receiver pair is preserved.
+	Send(to, kind string, payload []byte) error
+	// SetHandler installs the delivery callback. Must be called before
+	// the first frame arrives; frames delivered earlier are dropped.
+	SetHandler(Handler)
+	// Close detaches the endpoint; subsequent sends to it fail.
+	Close() error
+}
+
+// Fabric connects endpoints.
+type Fabric interface {
+	// Endpoint attaches a new named endpoint.
+	Endpoint(name string) (Endpoint, error)
+}
+
+// ErrClosed is returned when sending from or to a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// ErrUnknown is returned when the destination is not attached.
+var ErrUnknown = errors.New("transport: unknown endpoint")
+
+// LinkParams shape one directed in-process link.
+type LinkParams struct {
+	// Latency is the one-way delivery delay.
+	Latency time.Duration
+	// Bandwidth in bytes/second serialises payloads; 0 means infinite.
+	Bandwidth float64
+}
+
+// LinkFunc returns the current link parameters for a directed pair.
+// It is consulted per send, so shaping changes take effect immediately.
+type LinkFunc func(from, to string) LinkParams
+
+// InProc is the in-process fabric.
+type InProc struct {
+	mu        sync.Mutex
+	endpoints map[string]*inprocEP
+	link      LinkFunc
+	free      map[[2]string]time.Time     // directed-link serialisation
+	order     map[[2]string]chan struct{} // per-pair delivery ordering
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+// NewInProc builds a fabric; link may be nil (ideal network).
+func NewInProc(link LinkFunc) *InProc {
+	return &InProc{
+		endpoints: make(map[string]*inprocEP),
+		link:      link,
+		free:      make(map[[2]string]time.Time),
+		order:     make(map[[2]string]chan struct{}),
+	}
+}
+
+// Endpoint implements Fabric.
+func (f *InProc) Endpoint(name string) (Endpoint, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := f.endpoints[name]; ok {
+		return nil, fmt.Errorf("transport: endpoint %q already attached", name)
+	}
+	ep := &inprocEP{fabric: f, name: name}
+	f.endpoints[name] = ep
+	return ep, nil
+}
+
+// Close tears the fabric down and waits for in-flight deliveries.
+func (f *InProc) Close() {
+	f.mu.Lock()
+	f.closed = true
+	eps := make([]*inprocEP, 0, len(f.endpoints))
+	for _, ep := range f.endpoints {
+		eps = append(eps, ep)
+	}
+	f.endpoints = map[string]*inprocEP{}
+	f.mu.Unlock()
+	for _, ep := range eps {
+		ep.mu.Lock()
+		ep.closed = true
+		ep.mu.Unlock()
+	}
+	f.wg.Wait()
+}
+
+func (f *InProc) send(from *inprocEP, to, kind string, payload []byte) error {
+	from.mu.Lock()
+	fromClosed := from.closed
+	from.mu.Unlock()
+	if fromClosed {
+		return ErrClosed
+	}
+	f.mu.Lock()
+	dst, ok := f.endpoints[to]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknown, to)
+	}
+	delay := time.Duration(0)
+	if f.link != nil {
+		lp := f.link(from.name, to)
+		delay = lp.Latency
+		if lp.Bandwidth > 0 {
+			ser := time.Duration(float64(len(payload)) / lp.Bandwidth * float64(time.Second))
+			key := [2]string{from.name, to}
+			now := time.Now()
+			start := now
+			if free, ok := f.free[key]; ok && free.After(start) {
+				start = free
+			}
+			f.free[key] = start.Add(ser)
+			delay += start.Sub(now) + ser
+		}
+	}
+	// Per-pair FIFO: each delivery waits for its predecessor on the
+	// same directed link, as a stream transport would.
+	key := [2]string{from.name, to}
+	prev := f.order[key]
+	done := make(chan struct{})
+	f.order[key] = done
+	deadline := time.Now().Add(delay)
+	f.wg.Add(1)
+	f.mu.Unlock()
+
+	msg := Message{From: from.name, To: to, Kind: kind, Payload: payload}
+	go func() {
+		defer f.wg.Done()
+		defer close(done)
+		if prev != nil {
+			<-prev
+		}
+		if d := time.Until(deadline); d > 0 {
+			time.Sleep(d)
+		}
+		dst.mu.Lock()
+		h := dst.handler
+		closed := dst.closed
+		dst.mu.Unlock()
+		if h != nil && !closed {
+			h(msg)
+		}
+	}()
+	return nil
+}
+
+type inprocEP struct {
+	fabric *InProc
+	name   string
+
+	mu      sync.Mutex
+	handler Handler
+	closed  bool
+}
+
+func (e *inprocEP) Name() string { return e.name }
+
+func (e *inprocEP) Send(to, kind string, payload []byte) error {
+	return e.fabric.send(e, to, kind, payload)
+}
+
+func (e *inprocEP) SetHandler(h Handler) {
+	e.mu.Lock()
+	e.handler = h
+	e.mu.Unlock()
+}
+
+func (e *inprocEP) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.fabric.mu.Lock()
+	delete(e.fabric.endpoints, e.name)
+	e.fabric.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,218 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestInProcDelivery(t *testing.T) {
+	f := NewInProc(nil)
+	defer f.Close()
+	a, err := f.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan Message, 1)
+	b.SetHandler(func(m Message) { got <- m })
+	if err := a.Send("b", "hello", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.From != "a" || m.To != "b" || m.Kind != "hello" || string(m.Payload) != "payload" {
+			t.Fatalf("message = %+v", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("delivery timed out")
+	}
+}
+
+func TestInProcDuplicateName(t *testing.T) {
+	f := NewInProc(nil)
+	defer f.Close()
+	if _, err := f.Endpoint("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Endpoint("x"); err == nil {
+		t.Fatal("duplicate endpoint accepted")
+	}
+}
+
+func TestInProcUnknownDestination(t *testing.T) {
+	f := NewInProc(nil)
+	defer f.Close()
+	a, _ := f.Endpoint("a")
+	if err := a.Send("ghost", "k", nil); err == nil {
+		t.Fatal("send to unknown endpoint succeeded")
+	}
+}
+
+func TestInProcClosedEndpoint(t *testing.T) {
+	f := NewInProc(nil)
+	defer f.Close()
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	a.Close()
+	if err := a.Send("b", "k", nil); err != ErrClosed {
+		t.Fatalf("send from closed = %v, want ErrClosed", err)
+	}
+	if err := b.Send("a", "k", nil); err == nil {
+		t.Fatal("send to detached endpoint succeeded")
+	}
+}
+
+func TestInProcLatency(t *testing.T) {
+	f := NewInProc(func(from, to string) LinkParams {
+		return LinkParams{Latency: 30 * time.Millisecond}
+	})
+	defer f.Close()
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	got := make(chan time.Time, 1)
+	b.SetHandler(func(Message) { got <- time.Now() })
+	start := time.Now()
+	a.Send("b", "k", nil)
+	at := <-got
+	if d := at.Sub(start); d < 25*time.Millisecond {
+		t.Errorf("delivered after %v, want >= ~30ms", d)
+	}
+}
+
+func TestInProcBandwidthSerialises(t *testing.T) {
+	f := NewInProc(func(from, to string) LinkParams {
+		return LinkParams{Bandwidth: 100e3} // 100 KB/s
+	})
+	defer f.Close()
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	var count atomic.Int32
+	done := make(chan struct{}, 4)
+	b.SetHandler(func(Message) { count.Add(1); done <- struct{}{} })
+	payload := make([]byte, 2000) // 20 ms each at 100 KB/s
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		a.Send("b", "k", payload)
+	}
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Errorf("3 x 2KB at 100KB/s delivered in %v, want >= ~60ms (serialised)", d)
+	}
+}
+
+func TestInProcOrderPreservedPerLink(t *testing.T) {
+	f := NewInProc(func(from, to string) LinkParams {
+		return LinkParams{Bandwidth: 1e6}
+	})
+	defer f.Close()
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	var mu sync.Mutex
+	var got []string
+	done := make(chan struct{}, 16)
+	b.SetHandler(func(m Message) {
+		mu.Lock()
+		got = append(got, m.Kind)
+		mu.Unlock()
+		done <- struct{}{}
+	})
+	for i := 0; i < 10; i++ {
+		a.Send("b", string(rune('0'+i)), make([]byte, 1000))
+	}
+	for i := 0; i < 10; i++ {
+		<-done
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("reordered delivery: %v", got)
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	type payload struct {
+		A int
+		B string
+		C []float64
+	}
+	in := payload{A: 7, B: "x", C: []float64{1, 2.5}}
+	b, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Decode(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.A != in.A || out.B != in.B || len(out.C) != 2 || out.C[1] != 2.5 {
+		t.Fatalf("round trip = %+v", out)
+	}
+	if err := Decode([]byte("garbage"), &out); err == nil {
+		t.Fatal("decoding garbage succeeded")
+	}
+	if got := MustEncode(in); len(got) == 0 {
+		t.Fatal("MustEncode returned empty payload")
+	}
+}
+
+func TestTCPHubRouting(t *testing.T) {
+	hub, err := NewTCPHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	fab := NewTCP(hub.Addr())
+	a, err := fab.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := fab.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	got := make(chan Message, 1)
+	b.SetHandler(func(m Message) { got <- m })
+	// Registration races with the first send; retry briefly.
+	deadline := time.After(2 * time.Second)
+	for {
+		a.Send("b", "ping", []byte("x"))
+		select {
+		case m := <-got:
+			if m.From != "a" || m.Kind != "ping" || string(m.Payload) != "x" {
+				t.Fatalf("message = %+v", m)
+			}
+			return
+		case <-time.After(50 * time.Millisecond):
+		case <-deadline:
+			t.Fatal("TCP routing timed out")
+		}
+	}
+}
+
+func TestTCPSendAfterCloseFails(t *testing.T) {
+	hub, err := NewTCPHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	fab := NewTCP(hub.Addr())
+	a, err := fab.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if err := a.Send("b", "k", nil); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+}

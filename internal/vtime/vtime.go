@@ -1,0 +1,162 @@
+// Package vtime is a deterministic discrete-event simulation kernel:
+// a virtual clock, a cancellable event queue, and a seeded random
+// source. All grid experiments run on virtual seconds, so a scenario
+// that models hours of DAS-2 time executes in milliseconds and two runs
+// with the same seed produce identical traces.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in seconds since simulation start.
+type Time float64
+
+// Timer is a handle to a scheduled event; it can be cancelled.
+type Timer struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Safe to call multiple times
+// and after the event fired (then it is a no-op).
+func (t *Timer) Cancel() { t.cancelled = true }
+
+// Cancelled reports whether Cancel was called.
+func (t *Timer) Cancelled() bool { return t.cancelled }
+
+// When returns the virtual time the event is scheduled for.
+func (t *Timer) When() Time { return t.at }
+
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Sim is the simulation kernel. It is not safe for concurrent use: the
+// whole simulation runs single-threaded, which is what makes it
+// deterministic.
+type Sim struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+}
+
+// New returns a kernel whose random source is seeded with seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the kernel's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at virtual time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (s *Sim) At(t Time, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("vtime: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	ev := &Timer{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// After schedules fn to run d virtual seconds from now (d < 0 panics).
+func (s *Sim) After(d float64, fn func()) *Timer {
+	return s.At(s.now+Time(d), fn)
+}
+
+// Pending returns the number of live (non-cancelled) scheduled events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, e := range s.events {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Step executes the next event, advancing the clock. It returns false
+// when the queue holds no runnable event.
+func (s *Sim) Step() bool {
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*Timer)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Sim) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to
+// t (if it is ahead of the last event).
+func (s *Sim) RunUntil(t Time) {
+	s.stopped = false
+	for !s.stopped {
+		if len(s.events) == 0 {
+			break
+		}
+		// Peek cheapest.
+		next := s.events[0]
+		if next.cancelled {
+			heap.Pop(&s.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Stop makes the innermost Run/RunUntil return after the current event.
+func (s *Sim) Stop() { s.stopped = true }

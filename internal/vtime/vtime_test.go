@@ -1,0 +1,205 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(3, func() { got = append(got, 3) })
+	s.At(1, func() { got = append(got, 1) })
+	s.At(2, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if s.Now() != 3 {
+		t.Errorf("clock = %v, want 3", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := New(1)
+	var at Time
+	s.At(10, func() {
+		s.After(5, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 15 {
+		t.Errorf("After fired at %v, want 15", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.At(1, func() { fired = true })
+	tm.Cancel()
+	if !tm.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if tm.When() != 1 {
+		t.Errorf("When() = %v", tm.When())
+	}
+}
+
+func TestPendingCountsLiveEvents(t *testing.T) {
+	s := New(1)
+	a := s.At(1, func() {})
+	s.At(2, func() {})
+	if n := s.Pending(); n != 2 {
+		t.Fatalf("Pending = %d, want 2", n)
+	}
+	a.Cancel()
+	if n := s.Pending(); n != 1 {
+		t.Fatalf("Pending = %d after cancel, want 1", n)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	s.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("RunUntil(3) fired %v", fired)
+	}
+	if s.Now() != 3 {
+		t.Errorf("clock = %v, want 3", s.Now())
+	}
+	s.RunUntil(10)
+	if len(fired) != 5 {
+		t.Fatalf("remaining events not fired: %v", fired)
+	}
+	if s.Now() != 10 {
+		t.Errorf("clock should advance to 10 even past last event, got %v", s.Now())
+	}
+}
+
+func TestRunUntilSkipsCancelledHead(t *testing.T) {
+	s := New(1)
+	a := s.At(1, func() {})
+	fired := false
+	s.At(2, func() { fired = true })
+	a.Cancel()
+	s.RunUntil(2)
+	if !fired {
+		t.Error("event behind a cancelled head did not fire")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New(1)
+	count := 0
+	s.At(1, func() { count++; s.Stop() })
+	s.At(2, func() { count++ })
+	s.Run()
+	if count != 1 {
+		t.Fatalf("Stop did not halt Run: count = %d", count)
+	}
+	s.Run() // resumes
+	if count != 2 {
+		t.Fatalf("second Run did not resume: count = %d", count)
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func(seed int64) []float64 {
+		s := New(seed)
+		var out []float64
+		var tick func()
+		tick = func() {
+			out = append(out, float64(s.Now()), s.Rand().Float64())
+			if len(out) < 100 {
+				s.After(s.Rand().Float64(), tick)
+			}
+		}
+		s.After(0, tick)
+		s.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if i < len(c) && a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+// Property: for any batch of events with arbitrary times, execution
+// order is sorted by time with FIFO tie-break, and the clock ends at
+// the max scheduled time.
+func TestOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		if len(times) == 0 {
+			return true
+		}
+		s := New(1)
+		var fired []Time
+		for _, raw := range times {
+			at := Time(raw % 100)
+			s.At(at, func() { fired = append(fired, at) })
+		}
+		s.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package satin
+
+import "sync"
+
+// Future is the eventual result of a spawned task. It resolves when the
+// task completes locally or its result message arrives from the thief
+// that executed it. Access the value only after the owning frame's
+// Sync returned (or after Wait for root tasks).
+type Future struct {
+	mu     sync.Mutex
+	done   bool
+	val    any
+	err    error
+	notify chan struct{}
+}
+
+func (f *Future) complete(val any, err error) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return false // duplicate result (e.g. recomputation raced a late reply)
+	}
+	f.done = true
+	f.val = val
+	f.err = err
+	if f.notify != nil {
+		close(f.notify)
+	}
+	return true
+}
+
+// Wait blocks until the future resolves. Intended for root tasks
+// submitted with Node.Submit; inside task code use Sync instead.
+func (f *Future) Wait() {
+	f.mu.Lock()
+	if f.done {
+		f.mu.Unlock()
+		return
+	}
+	if f.notify == nil {
+		f.notify = make(chan struct{})
+	}
+	ch := f.notify
+	f.mu.Unlock()
+	<-ch
+}
+
+// Done reports whether the result is available.
+func (f *Future) Done() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.done
+}
+
+// Result returns the value and error; valid after Sync.
+func (f *Future) Result() (any, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.val, f.err
+}
+
+// Value returns the raw value (nil if errored or pending).
+func (f *Future) Value() any {
+	v, _ := f.Result()
+	return v
+}
+
+// Err returns the task's error, if any.
+func (f *Future) Err() error {
+	_, err := f.Result()
+	return err
+}
+
+// Int is a convenience accessor for integer-valued tasks.
+func (f *Future) Int() int {
+	if v, ok := f.Value().(int); ok {
+		return v
+	}
+	return 0
+}
+
+// Float is a convenience accessor for float-valued tasks.
+func (f *Future) Float() float64 {
+	switch v := f.Value().(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	}
+	return 0
+}

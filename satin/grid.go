@@ -1,0 +1,336 @@
+package satin
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/sched"
+	"repro/internal/topo"
+	"repro/internal/transport"
+)
+
+// ClusterSpec is one emulated site: a capacity of identical processors.
+type ClusterSpec struct {
+	Name  ClusterID
+	Nodes int
+	// Coordinator overrides the node-level coordinator endpoint for
+	// this cluster's nodes — used for hierarchical deployments where
+	// each cluster reports to its own sub-coordinator
+	// (adapt.SubEndpointName) instead of the main one.
+	Coordinator string
+}
+
+// GridConfig describes an emulated multi-cluster deployment: clusters
+// joined by WAN links, all inside one process. The link emulation
+// (latency + bandwidth, shapeable at runtime) is what lets the real
+// runtime reproduce the paper's scenarios without five universities.
+type GridConfig struct {
+	Clusters []ClusterSpec
+
+	LANLatency   time.Duration // default 200µs
+	WANLatency   time.Duration // default 5ms
+	LANBandwidth float64       // bytes/s, default 100 MB/s
+	WANBandwidth float64       // bytes/s, default 50 MB/s
+
+	Registry registry.Options
+
+	// Node carries the per-node defaults (benchmark, monitoring,
+	// coordinator endpoint, steal timeouts); ID/Cluster/Fabric are
+	// filled per started node.
+	Node NodeConfig
+}
+
+func (c *GridConfig) defaults() {
+	if c.LANLatency == 0 {
+		c.LANLatency = 200 * time.Microsecond
+	}
+	if c.WANLatency == 0 {
+		c.WANLatency = 5 * time.Millisecond
+	}
+	if c.LANBandwidth == 0 {
+		c.LANBandwidth = 100e6
+	}
+	if c.WANBandwidth == 0 {
+		c.WANBandwidth = 50e6
+	}
+}
+
+// Grid is a running emulated deployment. It doubles as the scheduler
+// (Zorilla's role): the adaptation coordinator asks it for nodes via
+// Provision and removes them through registry signals.
+type Grid struct {
+	cfg    GridConfig
+	fabric *transport.InProc
+	regSrv *registry.Server
+	pool   *sched.Pool
+
+	mu     sync.Mutex
+	nodes  map[NodeID]*Node
+	shaped map[ClusterID]float64 // WAN bandwidth override per cluster
+	load   map[ClusterID]float64 // ambient load applied to new nodes
+	closed bool
+}
+
+// NewGrid builds the fabric, registry and scheduler pool.
+func NewGrid(cfg GridConfig) (*Grid, error) {
+	cfg.defaults()
+	if len(cfg.Clusters) == 0 {
+		return nil, fmt.Errorf("satin: grid needs at least one cluster")
+	}
+	var t topo.Topology
+	for _, c := range cfg.Clusters {
+		t.Clusters = append(t.Clusters, topo.Cluster{
+			ID: c.Name, Nodes: c.Nodes, Speed: 1,
+			LANLatency: cfg.LANLatency.Seconds(), LANBandwidth: cfg.LANBandwidth,
+			WANLatency: cfg.WANLatency.Seconds() / 2, UplinkBandwidth: cfg.WANBandwidth,
+		})
+	}
+	pool, err := sched.NewPool(t)
+	if err != nil {
+		return nil, err
+	}
+	g := &Grid{
+		cfg:    cfg,
+		pool:   pool,
+		nodes:  make(map[NodeID]*Node),
+		shaped: make(map[ClusterID]float64),
+		load:   make(map[ClusterID]float64),
+	}
+	g.fabric = transport.NewInProc(g.link)
+	srv, err := registry.NewServer(g.fabric, cfg.Registry)
+	if err != nil {
+		g.fabric.Close()
+		return nil, err
+	}
+	g.regSrv = srv
+	return g, nil
+}
+
+// Fabric exposes the grid's transport (the coordinator attaches here).
+func (g *Grid) Fabric() transport.Fabric { return g.fabric }
+
+// Registry exposes the central registry server.
+func (g *Grid) Registry() *registry.Server { return g.regSrv }
+
+// clusterOf extracts the cluster from an endpoint name such as
+// "satin:fs0/03" or "reg:fs0/03" (node names come from topo.NodeName).
+func clusterOf(ep string) ClusterID {
+	if i := strings.IndexByte(ep, ':'); i >= 0 {
+		ep = ep[i+1:]
+	}
+	if i := strings.IndexByte(ep, '/'); i >= 0 {
+		return ClusterID(ep[:i])
+	}
+	return "" // registry, coordinator, and other infrastructure
+}
+
+// link computes the current emulated parameters of a directed link.
+func (g *Grid) link(from, to string) transport.LinkParams {
+	cf, ct := clusterOf(from), clusterOf(to)
+	if cf != "" && cf == ct {
+		return transport.LinkParams{Latency: g.cfg.LANLatency, Bandwidth: g.cfg.LANBandwidth}
+	}
+	bw := g.cfg.WANBandwidth
+	g.mu.Lock()
+	for _, c := range []ClusterID{cf, ct} {
+		if c == "" {
+			continue
+		}
+		if s, ok := g.shaped[c]; ok && s < bw {
+			bw = s
+		}
+	}
+	g.mu.Unlock()
+	lat := g.cfg.WANLatency
+	if cf == "" || ct == "" {
+		lat = g.cfg.WANLatency / 2 // infrastructure sits on the backbone
+	}
+	return transport.LinkParams{Latency: lat, Bandwidth: bw}
+}
+
+// Shape throttles (or restores) a cluster's WAN bandwidth at runtime —
+// the paper's traffic-shaping experiment.
+func (g *Grid) Shape(cluster ClusterID, bandwidth float64) {
+	g.mu.Lock()
+	if bandwidth <= 0 {
+		delete(g.shaped, cluster)
+	} else {
+		g.shaped[cluster] = bandwidth
+	}
+	g.mu.Unlock()
+}
+
+// SetClusterLoad puts a competing CPU load on every current node of a
+// cluster and on nodes started there later.
+func (g *Grid) SetClusterLoad(cluster ClusterID, factor float64) {
+	g.mu.Lock()
+	g.load[cluster] = factor
+	var affected []*Node
+	for _, n := range g.nodes {
+		if n.Cluster() == cluster {
+			affected = append(affected, n)
+		}
+	}
+	g.mu.Unlock()
+	for _, n := range affected {
+		n.SetLoadFactor(factor)
+	}
+}
+
+// StartNodes brings count nodes of one cluster into the computation.
+func (g *Grid) StartNodes(cluster ClusterID, count int) ([]*Node, error) {
+	refs := g.pool.AcquireN(cluster, count)
+	if len(refs) < count {
+		for _, r := range refs {
+			g.pool.Release(r)
+		}
+		return nil, fmt.Errorf("satin: cluster %s has only %d free nodes, need %d",
+			cluster, g.pool.FreeIn(cluster), count)
+	}
+	nodes := make([]*Node, 0, len(refs))
+	for i, ref := range refs {
+		n, err := g.startRef(ref)
+		if err != nil {
+			// Return the not-yet-started remainder of the batch to the
+			// pool; startRef released its own ref on failure.
+			for _, rest := range refs[i+1:] {
+				g.pool.Release(rest)
+			}
+			return nodes, err
+		}
+		nodes = append(nodes, n)
+	}
+	return nodes, nil
+}
+
+func (g *Grid) startRef(ref sched.NodeRef) (*Node, error) {
+	cfg := g.cfg.Node
+	cfg.ID = ref.Node
+	cfg.Cluster = ref.Cluster
+	cfg.Fabric = g.fabric
+	cfg.Registry = g.cfg.Registry
+	for _, spec := range g.cfg.Clusters {
+		if spec.Name == ref.Cluster && spec.Coordinator != "" {
+			cfg.Coordinator = spec.Coordinator
+		}
+	}
+	n, err := StartNode(cfg)
+	if err != nil {
+		g.pool.Release(ref)
+		return nil, err
+	}
+	n.onStop = func(stopped *Node) {
+		g.mu.Lock()
+		delete(g.nodes, stopped.ID())
+		g.mu.Unlock()
+		g.pool.Release(ref)
+	}
+	g.mu.Lock()
+	if f := g.load[ref.Cluster]; f > 0 {
+		n.SetLoadFactor(f)
+	}
+	g.nodes[n.ID()] = n
+	g.mu.Unlock()
+	return n, nil
+}
+
+// Provision implements the adaptation coordinator's "give me n nodes"
+// request with Zorilla-style locality: clusters already in use first.
+func (g *Grid) Provision(count int, veto func(NodeID, ClusterID) bool) int {
+	g.mu.Lock()
+	per := make(map[ClusterID]int)
+	for _, n := range g.nodes {
+		per[n.Cluster()]++
+	}
+	g.mu.Unlock()
+	prefer := make([]ClusterID, 0, len(per))
+	for c := range per {
+		prefer = append(prefer, c)
+	}
+	refs := g.pool.Request(count, prefer, veto)
+	started := 0
+	for _, ref := range refs {
+		if _, err := g.startRef(ref); err == nil {
+			started++
+		}
+	}
+	return started
+}
+
+// Node returns a live node by ID (nil if gone).
+func (g *Grid) Node(id NodeID) *Node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.nodes[id]
+}
+
+// Nodes returns the live nodes.
+func (g *Grid) Nodes() []*Node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	return out
+}
+
+// NodeCount returns the number of live nodes.
+func (g *Grid) NodeCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.nodes)
+}
+
+// CrashCluster kills every node of a cluster abruptly and marks the
+// capacity dead in the scheduler, so replacements must come from
+// elsewhere — the paper's crash scenario.
+func (g *Grid) CrashCluster(cluster ClusterID) int {
+	// Kill the free capacity FIRST so a concurrent Provision cannot
+	// start fresh nodes on the dying site between the live-victim
+	// snapshot and their deaths.
+	for {
+		refs := g.pool.AcquireN(cluster, 1)
+		if len(refs) == 0 {
+			break
+		}
+		g.pool.MarkDead(refs[0].Node)
+		g.pool.Release(refs[0])
+	}
+	g.mu.Lock()
+	var victims []*Node
+	for _, n := range g.nodes {
+		if n.Cluster() == cluster {
+			victims = append(victims, n)
+		}
+	}
+	g.mu.Unlock()
+	for _, n := range victims {
+		g.pool.MarkDead(n.ID())
+		n.Kill()
+	}
+	return len(victims)
+}
+
+// Close tears the whole deployment down.
+func (g *Grid) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	var all []*Node
+	for _, n := range g.nodes {
+		all = append(all, n)
+	}
+	g.mu.Unlock()
+	for _, n := range all {
+		n.Kill()
+	}
+	g.regSrv.Close()
+	g.fabric.Close()
+}

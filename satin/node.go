@@ -1,0 +1,873 @@
+package satin
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/registry"
+	"repro/internal/transport"
+)
+
+// NodeConfig configures one runtime node.
+type NodeConfig struct {
+	ID      NodeID
+	Cluster ClusterID
+
+	// Fabric carries both the registry session and the steal/result
+	// traffic.
+	Fabric transport.Fabric
+	// Registry tunes membership heartbeats and failure detection.
+	Registry registry.Options
+
+	// Coordinator, when set, is the endpoint name the node sends its
+	// per-period statistics reports to (the adaptation coordinator).
+	Coordinator string
+	// MonitorPeriod is the statistics period (default 2s — the real
+	// runtime runs at millisecond task scale, so periods shrink with it).
+	MonitorPeriod time.Duration
+
+	// Bench is the application-specific speed benchmark: the
+	// application itself with a small problem size. It must be a
+	// sequential task (no spawns). BenchWork is its nominal size in
+	// work units; the measured speed is BenchWork divided by the wall
+	// time of one run. BenchBudget bounds the benchmarking overhead.
+	Bench       Task
+	BenchWork   float64
+	BenchBudget float64
+
+	// LocalStealTimeout / WANStealTimeout bound synchronous local and
+	// asynchronous wide-area steal attempts.
+	LocalStealTimeout time.Duration
+	WANStealTimeout   time.Duration
+
+	// InterWaitThreshold: waiting on an outstanding wide-area steal
+	// counts as inter-cluster communication overhead only once the
+	// steal has been in flight this long — a healthy WAN round trip
+	// stays idle time, a saturated link shows up as inter overhead.
+	InterWaitThreshold time.Duration
+
+	// Seed makes victim selection reproducible per node.
+	Seed int64
+}
+
+func (c *NodeConfig) defaults() {
+	if c.MonitorPeriod == 0 {
+		c.MonitorPeriod = 2 * time.Second
+	}
+	if c.BenchBudget == 0 {
+		c.BenchBudget = 0.03
+	}
+	if c.LocalStealTimeout == 0 {
+		c.LocalStealTimeout = 250 * time.Millisecond
+	}
+	if c.WANStealTimeout == 0 {
+		c.WANStealTimeout = 3 * time.Second
+	}
+	if c.InterWaitThreshold == 0 {
+		c.InterWaitThreshold = 50 * time.Millisecond
+	}
+}
+
+// worker states (metrics buckets plus implicit idle)
+const stateIdle = -1
+
+// pendingJob is a spawned job this node owns.
+type pendingJob struct {
+	task   Task
+	fut    *Future
+	holder NodeID // who currently holds it ("" never; self = local)
+}
+
+// Node is one processor of the runtime.
+type Node struct {
+	cfg NodeConfig
+	reg *registry.Client
+	ep  transport.Endpoint
+	rng *rand.Rand // guarded by mu
+
+	mu           sync.Mutex
+	deque        []jobMsg
+	pending      map[uint64]*pendingJob
+	nextID       uint64
+	nextSeq      uint64
+	stealWaiters map[uint64]chan bool
+	leaving      bool
+	stopped      bool
+	departed     map[NodeID]bool // members seen leaving/dying, for late messages
+	load         float64
+	wanInFlight  bool
+	wanSince     time.Time // when the outstanding WAN steal was issued
+	benchPending bool
+
+	acc        *metrics.Accumulator
+	curState   int
+	stateSince time.Time
+
+	wake   chan struct{}
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	onStop func(*Node) // deployment bookkeeping hook
+}
+
+func satinEP(id NodeID) string { return "satin:" + string(id) }
+
+func hashID(id NodeID) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int64(h.Sum64())
+}
+
+// StartNode joins the registry and starts the worker.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	cfg.defaults()
+	if cfg.ID == "" || cfg.Fabric == nil {
+		return nil, fmt.Errorf("satin: NodeConfig needs ID and Fabric")
+	}
+	ep, err := cfg.Fabric.Endpoint(satinEP(cfg.ID))
+	if err != nil {
+		return nil, err
+	}
+	reg, err := registry.Join(cfg.Fabric, registry.NodeInfo{ID: cfg.ID, Cluster: cfg.Cluster}, cfg.Registry)
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	n := &Node{
+		cfg:          cfg,
+		reg:          reg,
+		ep:           ep,
+		rng:          rand.New(rand.NewSource(cfg.Seed ^ hashID(cfg.ID))),
+		pending:      make(map[uint64]*pendingJob),
+		departed:     make(map[NodeID]bool),
+		stealWaiters: make(map[uint64]chan bool),
+		acc:          metrics.NewAccumulator(cfg.ID, cfg.Cluster, 0),
+		curState:     stateIdle,
+		stateSince:   time.Now(),
+		wake:         make(chan struct{}, 1),
+		stopCh:       make(chan struct{}),
+	}
+	if cfg.Bench != nil {
+		n.benchPending = true
+	}
+	ep.SetHandler(n.handle)
+	n.wg.Add(2)
+	go n.eventLoop()
+	go n.worker()
+	if cfg.Coordinator != "" {
+		n.wg.Add(1)
+		go n.reportLoop()
+	}
+	return n, nil
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() NodeID { return n.cfg.ID }
+
+// Cluster returns the node's site.
+func (n *Node) Cluster() ClusterID { return n.cfg.Cluster }
+
+// SetLoadFactor emulates a competing CPU load: application work (and
+// the benchmark) takes (1+f) times as long. This is the real-runtime
+// counterpart of the paper's artificial-load experiments.
+func (n *Node) SetLoadFactor(f float64) {
+	n.mu.Lock()
+	n.load = f
+	n.mu.Unlock()
+}
+
+// Submit enters a root task owned by this node and returns its future.
+func (n *Node) Submit(t Task) *Future {
+	fut := n.spawnJob(t)
+	n.wakeUp()
+	return fut
+}
+
+// Run submits a root task and blocks until it completes.
+func (n *Node) Run(t Task) (any, error) {
+	fut := n.Submit(t)
+	fut.Wait()
+	return fut.Result()
+}
+
+// Leaving reports whether the node was asked to leave.
+func (n *Node) Leaving() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leaving
+}
+
+// Stopped reports whether the node has shut down.
+func (n *Node) Stopped() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stopped
+}
+
+// SignalLeave asks the node to leave at the next job boundary (the
+// coordinator normally does this through the registry; the method
+// exists for direct orchestration and tests).
+func (n *Node) SignalLeave() {
+	n.mu.Lock()
+	n.leaving = true
+	n.mu.Unlock()
+	n.wakeUp()
+}
+
+// Kill stops the node abruptly, simulating a crash: no leave message,
+// no returned jobs; peers find out through the failure detector.
+func (n *Node) Kill() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	// Fail every locally owned future: a caller blocked in Future.Wait
+	// (e.g. Node.Run on this node) must not hang forever on a dead
+	// node — nobody will ever deliver those results here.
+	pending := n.pending
+	n.pending = make(map[uint64]*pendingJob)
+	n.mu.Unlock()
+	for _, pj := range pending {
+		pj.fut.complete(nil, errNodeStopped)
+	}
+	close(n.stopCh)
+	n.wakeUp()
+	n.reg.Close()
+	n.ep.Close()
+	n.wg.Wait()
+	if n.onStop != nil {
+		n.onStop(n)
+	}
+}
+
+// Report snapshots the node's statistics for the elapsed period.
+func (n *Node) Report() metrics.Report {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.snapshotLocked()
+}
+
+func (n *Node) snapshotLocked() metrics.Report {
+	// Fold the in-progress state into the period before snapshotting.
+	now := time.Now()
+	el := now.Sub(n.stateSince).Seconds()
+	if n.curState >= 0 && el > 0 {
+		n.acc.Add(metrics.Bucket(n.curState), el)
+	}
+	n.stateSince = now
+	return n.acc.Snapshot(monotonicSeconds())
+}
+
+var startTime = time.Now()
+
+func monotonicSeconds() float64 { return time.Since(startTime).Seconds() }
+
+// ---- worker ----
+
+func (n *Node) worker() {
+	defer n.wg.Done()
+	for {
+		n.mu.Lock()
+		stopped, leaving := n.stopped, n.leaving
+		bench := n.benchPending
+		n.mu.Unlock()
+		if stopped {
+			return
+		}
+		if leaving {
+			if n.tryFinishLeave() {
+				return
+			}
+		}
+		if bench {
+			n.runBench()
+			continue
+		}
+		if j, ok := n.popNewest(); ok {
+			n.executeJob(j)
+			continue
+		}
+		if leaving {
+			// Deque drained but self-owned work is still outstanding:
+			// wait for results (or reclaims) instead of spinning.
+			n.waitForWork(2 * time.Millisecond)
+			continue
+		}
+		if j, ok := n.trySteal(); ok {
+			n.executeJob(j)
+			continue
+		}
+		n.waitForWork(2 * time.Millisecond)
+	}
+}
+
+func (n *Node) popNewest() (jobMsg, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.deque) == 0 {
+		return jobMsg{}, false
+	}
+	j := n.deque[len(n.deque)-1]
+	n.deque = n.deque[:len(n.deque)-1]
+	return j, true
+}
+
+func (n *Node) wakeUp() {
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+}
+
+// enterState switches the worker's accounting bucket. A competing load
+// factor stretches busy and benchmark intervals by sleeping, emulating
+// time-sharing with the load.
+func (n *Node) enterState(next int) {
+	n.mu.Lock()
+	prev := n.curState
+	el := time.Since(n.stateSince)
+	load := n.load
+	n.mu.Unlock()
+	if load > 0 && el > 0 &&
+		(prev == int(metrics.Busy) || prev == int(metrics.Bench)) {
+		time.Sleep(time.Duration(float64(el) * load))
+	}
+	n.mu.Lock()
+	if n.curState >= 0 {
+		if el2 := time.Since(n.stateSince).Seconds(); el2 > 0 {
+			n.acc.Add(metrics.Bucket(n.curState), el2)
+		}
+	}
+	n.curState = next
+	n.stateSince = time.Now()
+	n.mu.Unlock()
+}
+
+func (n *Node) executeJob(j jobMsg) {
+	n.enterState(int(metrics.Busy))
+	ctx := &Context{node: n}
+	val, err := safeExecute(j.Task, ctx)
+	n.enterState(stateIdle)
+	if errors.Is(err, errNodeStopped) {
+		// Execution was cut short by Kill: this is not a task result.
+		// Say nothing; the owner recomputes the job when the failure
+		// detector reports us dead.
+		return
+	}
+	if j.Owner == n.cfg.ID {
+		n.completeLocal(j.ID, val, err)
+		return
+	}
+	payload, encErr := transport.Encode(resultMsg{ID: j.ID, Value: val, Err: errString(err)})
+	if encErr != nil {
+		// Unregistered result type: deliver the error instead so the
+		// owner's sync does not hang.
+		payload = transport.MustEncode(resultMsg{ID: j.ID, Err: encErr.Error()})
+	}
+	n.ep.Send(satinEP(j.Owner), "result", payload)
+}
+
+// safeExecute converts panics in task code into errors; a crashing task
+// must not take the whole node down (the computation would deadlock).
+func safeExecute(t Task, ctx *Context) (val any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("satin: task panic: %v", r)
+		}
+	}()
+	return t.Execute(ctx)
+}
+
+func (n *Node) completeLocal(id uint64, val any, err error) {
+	n.mu.Lock()
+	pj, ok := n.pending[id]
+	if ok {
+		delete(n.pending, id)
+	}
+	n.mu.Unlock()
+	if ok {
+		pj.fut.complete(val, err)
+		n.wakeUp()
+	}
+}
+
+func (n *Node) spawnJob(t Task) *Future {
+	n.mu.Lock()
+	n.nextID++
+	id := n.nextID
+	fut := &Future{}
+	n.pending[id] = &pendingJob{task: t, fut: fut, holder: n.cfg.ID}
+	n.deque = append(n.deque, jobMsg{ID: id, Owner: n.cfg.ID, Task: t})
+	n.mu.Unlock()
+	return fut
+}
+
+// ---- stealing (CRS) ----
+
+// trySteal implements cluster-aware random work stealing: keep one
+// asynchronous wide-area steal outstanding while issuing synchronous
+// local steals, so WAN latency hides behind LAN attempts.
+func (n *Node) trySteal() (jobMsg, bool) {
+	members := n.reg.Members()
+	var locals, remotes []registry.NodeInfo
+	for _, m := range members {
+		if m.ID == n.cfg.ID || m.Cluster == "" {
+			// Members without a cluster are non-workers (the
+			// adaptation coordinator's registry session): never steal
+			// from them.
+			continue
+		}
+		if m.Cluster == n.cfg.Cluster {
+			locals = append(locals, m)
+		} else {
+			remotes = append(remotes, m)
+		}
+	}
+	n.mu.Lock()
+	launchWAN := len(remotes) > 0 && !n.wanInFlight
+	if launchWAN {
+		n.wanInFlight = true
+		n.wanSince = time.Now()
+	}
+	var wanVictim registry.NodeInfo
+	if launchWAN {
+		wanVictim = remotes[n.rng.Intn(len(remotes))]
+	}
+	var localVictim registry.NodeInfo
+	haveLocal := len(locals) > 0
+	if haveLocal {
+		localVictim = locals[n.rng.Intn(len(locals))]
+	}
+	n.mu.Unlock()
+
+	if launchWAN {
+		go n.wanSteal(wanVictim)
+	}
+	if !haveLocal {
+		return jobMsg{}, false
+	}
+	n.enterState(int(metrics.Intra))
+	gotJob := n.stealFrom(localVictim.ID, n.cfg.LocalStealTimeout)
+	n.enterState(stateIdle)
+	if !gotJob {
+		return jobMsg{}, false
+	}
+	// The reply handler adopted the job into our deque (ownership
+	// transfers there, never through a channel a timed-out waiter may
+	// have abandoned); take the freshest entry.
+	return n.popNewest()
+}
+
+// wanSteal runs the asynchronous wide-area steal: a successful job is
+// adopted into the deque by the reply handler; here we only clear the
+// in-flight flag CRS keys on.
+func (n *Node) wanSteal(victim registry.NodeInfo) {
+	n.stealFrom(victim.ID, n.cfg.WANStealTimeout)
+	n.mu.Lock()
+	n.wanInFlight = false
+	n.mu.Unlock()
+	n.wakeUp()
+}
+
+// stealFrom sends one steal request and waits for the reply; it
+// reports whether the victim granted a job (which the reply handler
+// already adopted into the deque).
+func (n *Node) stealFrom(victim NodeID, timeout time.Duration) bool {
+	n.mu.Lock()
+	n.nextSeq++
+	seq := n.nextSeq
+	ch := make(chan bool, 1)
+	n.stealWaiters[seq] = ch
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.stealWaiters, seq)
+		n.mu.Unlock()
+	}()
+	msg := transport.MustEncode(stealMsg{Thief: n.cfg.ID, Cluster: n.cfg.Cluster, Seq: seq})
+	if err := n.ep.Send(satinEP(victim), "steal", msg); err != nil {
+		return false
+	}
+	select {
+	case got := <-ch:
+		return got
+	case <-time.After(timeout):
+		return false
+	case <-n.stopCh:
+		return false
+	}
+}
+
+// noteHolding tells the job's owner who holds it now, so the owner can
+// recompute it if this node dies (the fault-tolerance bookkeeping).
+func (n *Node) noteHolding(j jobMsg) {
+	if j.Owner == n.cfg.ID {
+		n.mu.Lock()
+		if pj, ok := n.pending[j.ID]; ok {
+			pj.holder = n.cfg.ID
+		}
+		n.mu.Unlock()
+		return
+	}
+	n.ep.Send(satinEP(j.Owner), "holding",
+		transport.MustEncode(holdingMsg{ID: j.ID, Holder: n.cfg.ID}))
+}
+
+func (n *Node) waitForWork(d time.Duration) {
+	n.mu.Lock()
+	wanStalled := n.wanInFlight && time.Since(n.wanSince) > n.cfg.InterWaitThreshold
+	n.mu.Unlock()
+	if wanStalled {
+		// Waiting on a wide-area steal that should long have returned:
+		// the WAN path is congested, which the monitoring must surface
+		// as inter-cluster communication overhead. Ordinary round-trip
+		// waits stay idle time.
+		n.enterState(int(metrics.Inter))
+	} else {
+		n.enterState(stateIdle)
+	}
+	select {
+	case <-n.wake:
+	case <-time.After(d):
+	case <-n.stopCh:
+	}
+	n.enterState(stateIdle)
+}
+
+// ---- benchmarking ----
+
+func (n *Node) runBench() {
+	n.mu.Lock()
+	n.benchPending = false
+	bench := n.cfg.Bench
+	n.mu.Unlock()
+	if bench == nil {
+		return
+	}
+	n.enterState(int(metrics.Bench))
+	start := time.Now()
+	ctx := &Context{node: n, benchMode: true}
+	_, _ = safeExecute(bench, ctx)
+	n.enterState(stateIdle)
+	dur := time.Since(start).Seconds()
+	if dur <= 0 {
+		dur = 1e-9
+	}
+	speed := n.cfg.BenchWork / dur
+	n.mu.Lock()
+	n.acc.SetSpeed(speed)
+	n.mu.Unlock()
+	interval := time.Duration(dur / n.cfg.BenchBudget * float64(time.Second))
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	time.AfterFunc(interval, func() {
+		n.mu.Lock()
+		if !n.stopped && !n.leaving {
+			n.benchPending = true
+		}
+		n.mu.Unlock()
+		n.wakeUp()
+	})
+}
+
+// ---- malleability & fault tolerance ----
+
+// tryFinishLeave completes a graceful departure once no self-owned
+// work remains: foreign jobs in the deque go back to their owners,
+// then the node leaves the registry. Returns true when the node is
+// done.
+func (n *Node) tryFinishLeave() bool {
+	n.mu.Lock()
+	if len(n.pending) > 0 {
+		// This node still owns unfinished jobs (it is executing a
+		// subtree): it must keep working before it may leave.
+		n.mu.Unlock()
+		return false
+	}
+	if n.stopped {
+		// Kill won the race while the worker was between its loop-top
+		// check and here; the node is already down and stopCh closed.
+		n.mu.Unlock()
+		return true
+	}
+	var foreign []jobMsg
+	var keep []jobMsg
+	for _, j := range n.deque {
+		if j.Owner != n.cfg.ID {
+			foreign = append(foreign, j)
+		} else {
+			keep = append(keep, j)
+		}
+	}
+	if len(keep) > 0 {
+		n.mu.Unlock()
+		return false
+	}
+	n.deque = nil
+	n.stopped = true
+	n.mu.Unlock()
+	for _, j := range foreign {
+		payload, err := transport.Encode(returnJobMsg{Job: j})
+		if err == nil {
+			n.ep.Send(satinEP(j.Owner), "return-job", payload)
+		}
+	}
+	close(n.stopCh)
+	n.reg.Leave()
+	n.ep.Close()
+	// The worker (our caller) returns after this; notify once every
+	// companion goroutine has drained.
+	go func() {
+		n.wg.Wait()
+		if n.onStop != nil {
+			n.onStop(n)
+		}
+	}()
+	return true
+}
+
+// eventLoop consumes registry events: deaths trigger recomputation of
+// jobs the dead node held; the "leave" signal starts a graceful exit.
+func (n *Node) eventLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case ev, ok := <-n.reg.Events():
+			if !ok {
+				return
+			}
+			switch ev.Kind {
+			case registry.Joined:
+				// A node ID can be reused after its slot is released
+				// back to the scheduler: a rejoin clears its departed
+				// mark so it can steal again.
+				n.mu.Lock()
+				delete(n.departed, ev.Node.ID)
+				n.mu.Unlock()
+			case registry.Died, registry.Left:
+				n.reclaimFrom(ev.Node.ID)
+			case registry.SignalEvent:
+				if ev.Signal == "leave" {
+					n.mu.Lock()
+					n.leaving = true
+					n.mu.Unlock()
+					n.wakeUp()
+				}
+			}
+		}
+	}
+}
+
+// reclaimFrom re-enqueues every pending job the departed node held —
+// Satin's orphan recomputation. A graceful leaver also returns jobs
+// explicitly; the Future deduplicates if both paths deliver.
+func (n *Node) reclaimFrom(dead NodeID) {
+	if dead == n.cfg.ID {
+		return
+	}
+	n.mu.Lock()
+	n.departed[dead] = true
+	var reclaimed int
+	for id, pj := range n.pending {
+		if pj.holder == dead {
+			pj.holder = n.cfg.ID
+			n.deque = append(n.deque, jobMsg{ID: id, Owner: n.cfg.ID, Task: pj.task})
+			reclaimed++
+		}
+	}
+	n.mu.Unlock()
+	if reclaimed > 0 {
+		n.wakeUp()
+	}
+}
+
+// ---- message handling ----
+
+func (n *Node) handle(msg transport.Message) {
+	switch msg.Kind {
+	case "steal":
+		var sm stealMsg
+		if transport.Decode(msg.Payload, &sm) != nil {
+			return
+		}
+		n.mu.Lock()
+		var reply stealReplyMsg
+		reply.Seq = sm.Seq
+		if !n.stopped && !n.leaving && !n.departed[sm.Thief] && len(n.deque) > 0 {
+			j := n.deque[0] // oldest = biggest subtree
+			n.deque = n.deque[1:]
+			reply.HasJob = true
+			reply.Job = j
+			if j.Owner == n.cfg.ID {
+				if pj, ok := n.pending[j.ID]; ok {
+					pj.holder = sm.Thief
+				}
+			}
+		}
+		n.mu.Unlock()
+		if reply.HasJob && reply.Job.Owner != n.cfg.ID && reply.Job.Owner != sm.Thief {
+			// Tell the third-party owner immediately where its job went:
+			// if the thief dies before its own notification, the owner
+			// must still know whom to watch for recomputation.
+			n.ep.Send(satinEP(reply.Job.Owner), "holding",
+				transport.MustEncode(holdingMsg{ID: reply.Job.ID, Holder: sm.Thief}))
+		}
+		payload, err := transport.Encode(reply)
+		if err != nil {
+			// Task type not registered for gob: hand the job back to
+			// ourselves and fail the steal.
+			if reply.HasJob {
+				n.mu.Lock()
+				n.deque = append([]jobMsg{reply.Job}, n.deque...)
+				if reply.Job.Owner == n.cfg.ID {
+					if pj, ok := n.pending[reply.Job.ID]; ok {
+						pj.holder = n.cfg.ID
+					}
+				}
+				n.mu.Unlock()
+			}
+			payload = transport.MustEncode(stealReplyMsg{Seq: sm.Seq})
+		}
+		n.ep.Send(satinEP(sm.Thief), "steal-reply", payload)
+	case "steal-reply":
+		var sr stealReplyMsg
+		if transport.Decode(msg.Payload, &sr) != nil {
+			return
+		}
+		n.countInterBytes(msg)
+		returnIt := false
+		if sr.HasJob {
+			// Adopt the job here, whatever happened to the waiter: a
+			// reply that lost a race with the steal timeout must not
+			// lose the job (its owner already recorded us as holder).
+			n.mu.Lock()
+			if n.stopped {
+				returnIt = true
+			} else {
+				n.deque = append(n.deque, sr.Job)
+			}
+			n.mu.Unlock()
+			if !returnIt {
+				n.noteHolding(sr.Job)
+				n.wakeUp()
+			}
+		}
+		if returnIt {
+			if payload, err := transport.Encode(returnJobMsg{Job: sr.Job}); err == nil {
+				n.ep.Send(satinEP(sr.Job.Owner), "return-job", payload)
+			}
+		}
+		n.mu.Lock()
+		ch := n.stealWaiters[sr.Seq]
+		n.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- sr.HasJob:
+			default:
+			}
+		}
+	case "result":
+		var rm resultMsg
+		if transport.Decode(msg.Payload, &rm) != nil {
+			return
+		}
+		n.countInterBytes(msg)
+		n.completeLocal(rm.ID, rm.Value, stringErr(rm.Err))
+	case "holding":
+		var hm holdingMsg
+		if transport.Decode(msg.Payload, &hm) != nil {
+			return
+		}
+		n.mu.Lock()
+		reclaim := false
+		if pj, ok := n.pending[hm.ID]; ok {
+			if n.departed[hm.Holder] {
+				// The notification lost the race with the holder's
+				// death event: recompute here and now, or the job
+				// would point at a dead node forever.
+				pj.holder = n.cfg.ID
+				n.deque = append(n.deque, jobMsg{ID: hm.ID, Owner: n.cfg.ID, Task: pj.task})
+				reclaim = true
+			} else {
+				pj.holder = hm.Holder
+			}
+		}
+		n.mu.Unlock()
+		if reclaim {
+			n.wakeUp()
+		}
+	case "return-job":
+		var rj returnJobMsg
+		if transport.Decode(msg.Payload, &rj) != nil {
+			return
+		}
+		n.mu.Lock()
+		if rj.Job.Owner == n.cfg.ID {
+			if pj, ok := n.pending[rj.Job.ID]; ok {
+				pj.holder = n.cfg.ID
+				n.deque = append(n.deque, rj.Job)
+			}
+		} else {
+			n.deque = append(n.deque, rj.Job)
+		}
+		n.mu.Unlock()
+		n.wakeUp()
+	}
+}
+
+// countInterBytes books a received frame's payload as inter-cluster
+// traffic when the sender sits in another cluster — the byte counts
+// behind the coordinator's achieved-bandwidth estimate, which feeds the
+// learned minimum-bandwidth requirement.
+func (n *Node) countInterBytes(msg transport.Message) {
+	if len(msg.Payload) == 0 {
+		return
+	}
+	from := NodeID("")
+	if len(msg.From) > len("satin:") {
+		from = NodeID(msg.From[len("satin:"):])
+	}
+	if from == "" || from == n.cfg.ID {
+		return
+	}
+	for _, m := range n.reg.Members() {
+		if m.ID == from {
+			if m.Cluster != "" && m.Cluster != n.cfg.Cluster {
+				n.mu.Lock()
+				n.acc.AddInterBytes(float64(len(msg.Payload)))
+				n.mu.Unlock()
+			}
+			return
+		}
+	}
+}
+
+// reportLoop pushes per-period statistics to the coordinator.
+func (n *Node) reportLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.MonitorPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-ticker.C:
+			rep := n.Report()
+			payload, err := transport.Encode(rep)
+			if err != nil {
+				continue
+			}
+			n.ep.Send(n.cfg.Coordinator, "report", payload)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package satin
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+)
+
+// tfib is the classic divide-and-conquer test workload: counts calls
+// of the Fibonacci recursion, burning a little real time per leaf so
+// stealing has something to balance.
+type tfib struct {
+	N    int
+	Leaf time.Duration
+}
+
+func (f tfib) Execute(ctx *Context) (any, error) {
+	if f.N < 2 {
+		if f.Leaf > 0 {
+			time.Sleep(f.Leaf)
+		}
+		return 1, nil
+	}
+	a := ctx.Spawn(tfib{N: f.N - 1, Leaf: f.Leaf})
+	b := ctx.Spawn(tfib{N: f.N - 2, Leaf: f.Leaf})
+	if err := ctx.Sync(); err != nil {
+		return nil, err
+	}
+	return a.Int() + b.Int(), nil
+}
+
+// terr fails on purpose.
+type terr struct{ Boom bool }
+
+func (t terr) Execute(ctx *Context) (any, error) {
+	if t.Boom {
+		return nil, errors.New("boom")
+	}
+	panic("kaboom")
+}
+
+func init() {
+	Register(tfib{})
+	Register(terr{})
+}
+
+func fibLeaves(n int) int {
+	if n < 2 {
+		return 1
+	}
+	return fibLeaves(n-1) + fibLeaves(n-2)
+}
+
+func fastReg() registry.Options {
+	return registry.Options{
+		HeartbeatInterval: 20 * time.Millisecond,
+		FailureTimeout:    100 * time.Millisecond,
+	}
+}
+
+func testGrid(t *testing.T, clusters ...ClusterSpec) *Grid {
+	t.Helper()
+	g, err := NewGrid(GridConfig{
+		Clusters:   clusters,
+		Registry:   fastReg(),
+		LANLatency: 50 * time.Microsecond,
+		WANLatency: 1 * time.Millisecond,
+		Node: NodeConfig{
+			Registry:          fastReg(),
+			LocalStealTimeout: 100 * time.Millisecond,
+			WANStealTimeout:   500 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}
+
+func TestSingleNodeExecutes(t *testing.T) {
+	g := testGrid(t, ClusterSpec{Name: "c0", Nodes: 1})
+	nodes, err := g.StartNodes("c0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, err := nodes[0].Run(tfib{N: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.(int) != fibLeaves(12) {
+		t.Fatalf("fib(12) = %v, want %d", val, fibLeaves(12))
+	}
+}
+
+func TestMultiNodeDistributes(t *testing.T) {
+	g := testGrid(t,
+		ClusterSpec{Name: "c0", Nodes: 2},
+		ClusterSpec{Name: "c1", Nodes: 2},
+	)
+	if _, err := g.StartNodes("c0", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.StartNodes("c1", 2); err != nil {
+		t.Fatal(err)
+	}
+	master := g.Nodes()[0]
+	for _, n := range g.Nodes() {
+		if n.ID() < master.ID() {
+			master = n
+		}
+	}
+	val, err := master.Run(tfib{N: 15, Leaf: 300 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.(int) != fibLeaves(15) {
+		t.Fatalf("fib(15) = %v, want %d", val, fibLeaves(15))
+	}
+	// Work must actually have been distributed: at least one other
+	// node accumulated busy time.
+	busyElsewhere := 0
+	for _, n := range g.Nodes() {
+		if n.ID() == master.ID() {
+			continue
+		}
+		if rep := n.Report(); rep.BusySec > 0 {
+			busyElsewhere++
+		}
+	}
+	if busyElsewhere == 0 {
+		t.Error("no stealing happened: all work stayed on the master")
+	}
+}
+
+func TestErrorPropagates(t *testing.T) {
+	g := testGrid(t, ClusterSpec{Name: "c0", Nodes: 1})
+	nodes, _ := g.StartNodes("c0", 1)
+	if _, err := nodes[0].Run(terr{Boom: true}); err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	g := testGrid(t, ClusterSpec{Name: "c0", Nodes: 1})
+	nodes, _ := g.StartNodes("c0", 1)
+	_, err := nodes[0].Run(terr{Boom: false})
+	if err == nil {
+		t.Fatal("panic did not surface as error")
+	}
+}
+
+func TestGracefulLeaveMidRun(t *testing.T) {
+	g := testGrid(t, ClusterSpec{Name: "c0", Nodes: 4})
+	nodes, err := g.StartNodes("c0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master := nodes[0]
+	fut := master.Submit(tfib{N: 17, Leaf: 200 * time.Microsecond})
+	time.Sleep(50 * time.Millisecond) // let work spread
+	// Two workers leave mid-computation (the coordinator's shrink).
+	g.Registry().Signal(nodes[2].ID(), "leave")
+	g.Registry().Signal(nodes[3].ID(), "leave")
+	fut.Wait()
+	val, err := fut.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.(int) != fibLeaves(17) {
+		t.Fatalf("fib(17) = %v, want %d (leave corrupted the computation)", val, fibLeaves(17))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for g.NodeCount() > 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("leavers never stopped: %d nodes live", g.NodeCount())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCrashRecomputesOrphans(t *testing.T) {
+	g := testGrid(t, ClusterSpec{Name: "c0", Nodes: 4})
+	nodes, err := g.StartNodes("c0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master := nodes[0]
+	fut := master.Submit(tfib{N: 17, Leaf: 200 * time.Microsecond})
+	time.Sleep(50 * time.Millisecond)
+	nodes[3].Kill() // abrupt: orphaned jobs must be recomputed
+	fut.Wait()
+	val, err := fut.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.(int) != fibLeaves(17) {
+		t.Fatalf("fib(17) = %v, want %d (crash lost work)", val, fibLeaves(17))
+	}
+}
+
+func TestProvisionAddsNodes(t *testing.T) {
+	g := testGrid(t,
+		ClusterSpec{Name: "c0", Nodes: 2},
+		ClusterSpec{Name: "c1", Nodes: 2},
+	)
+	if _, err := g.StartNodes("c0", 1); err != nil {
+		t.Fatal(err)
+	}
+	added := g.Provision(2, nil)
+	if added != 2 {
+		t.Fatalf("Provision added %d, want 2", added)
+	}
+	// Locality: the occupied cluster c0 fills first.
+	perCluster := map[ClusterID]int{}
+	for _, n := range g.Nodes() {
+		perCluster[n.Cluster()]++
+	}
+	if perCluster["c0"] != 2 {
+		t.Errorf("locality violated: %v", perCluster)
+	}
+	veto := func(id NodeID, c ClusterID) bool { return true }
+	if added := g.Provision(1, veto); added != 0 {
+		t.Errorf("veto ignored: added %d", added)
+	}
+}
+
+func TestBenchmarkMeasuresSpeedAndLoad(t *testing.T) {
+	g, err := NewGrid(GridConfig{
+		Clusters: []ClusterSpec{{Name: "c0", Nodes: 2}},
+		Registry: fastReg(),
+		Node: NodeConfig{
+			Registry:    fastReg(),
+			Bench:       tfib{N: 10, Leaf: 20 * time.Microsecond},
+			BenchWork:   float64(fibLeaves(10)),
+			BenchBudget: 0.5, // rerun quickly for the test
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	nodes, err := g.StartNodes("c0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes[1].SetLoadFactor(3)
+	waitSpeed := func(n *Node) float64 {
+		deadline := time.Now().Add(3 * time.Second)
+		for {
+			if s := n.Report().Speed; s > 0 {
+				return s
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %s never measured a speed", n.ID())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	// Let both benchmark at least twice so the loaded node's slowdown shows.
+	time.Sleep(300 * time.Millisecond)
+	fast, slow := waitSpeed(nodes[0]), waitSpeed(nodes[1])
+	if slow >= fast*0.7 {
+		t.Errorf("loaded node speed %.0f not clearly below unloaded %.0f", slow, fast)
+	}
+}
+
+func TestCrashedClusterCapacityUnavailable(t *testing.T) {
+	g := testGrid(t,
+		ClusterSpec{Name: "c0", Nodes: 2},
+		ClusterSpec{Name: "c1", Nodes: 2},
+	)
+	if _, err := g.StartNodes("c1", 1); err != nil {
+		t.Fatal(err)
+	}
+	killed := g.CrashCluster("c1")
+	if killed != 1 {
+		t.Fatalf("killed %d, want 1", killed)
+	}
+	// Provisioning can only use the surviving cluster now.
+	added := g.Provision(4, nil)
+	if added != 2 {
+		t.Fatalf("added %d after cluster crash, want 2 (c0 only)", added)
+	}
+	for _, n := range g.Nodes() {
+		if n.Cluster() == "c1" {
+			t.Fatalf("node revived in crashed cluster: %s", n.ID())
+		}
+	}
+}
+
+func TestFutureAccessors(t *testing.T) {
+	f := &Future{}
+	if f.Done() || f.Value() != nil || f.Err() != nil || f.Int() != 0 || f.Float() != 0 {
+		t.Fatal("zero future should be empty")
+	}
+	if !f.complete(7, nil) {
+		t.Fatal("first complete failed")
+	}
+	if f.complete(9, nil) {
+		t.Fatal("duplicate complete succeeded")
+	}
+	if f.Int() != 7 || f.Float() != 7 {
+		t.Fatalf("accessors: %d %f", f.Int(), f.Float())
+	}
+	f.Wait() // already done: returns immediately
+	f2 := &Future{}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		f2.complete(1.5, nil)
+	}()
+	f2.Wait()
+	if f2.Float() != 1.5 {
+		t.Fatalf("Float = %v", f2.Float())
+	}
+}

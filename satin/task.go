@@ -1,0 +1,104 @@
+// Package satin is a Go rendition of the Satin divide-and-conquer
+// runtime the paper builds on: applications spawn subtasks that are
+// load-balanced across nodes with cluster-aware random work stealing
+// (CRS), nodes can join and leave a running computation (malleability),
+// and work lost to crashes or departures is recomputed from its owner
+// (fault tolerance) — the properties the paper's §2 assumes and §4
+// implements.
+//
+// Tasks are plain Go values implementing Task; they and their result
+// types must be registered (Register/RegisterValue) because stolen
+// jobs and their results travel between nodes as gob frames.
+//
+// A typical divide-and-conquer application:
+//
+//	type Fib struct{ N int }
+//
+//	func (f Fib) Execute(ctx *satin.Context) (any, error) {
+//		if f.N < 2 {
+//			return f.N, nil
+//		}
+//		a := ctx.Spawn(Fib{N: f.N - 1})
+//		b := ctx.Spawn(Fib{N: f.N - 2})
+//		if err := ctx.Sync(); err != nil {
+//			return nil, err
+//		}
+//		return a.Int() + b.Int(), nil
+//	}
+package satin
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// NodeID identifies a runtime node; ClusterID its site.
+type (
+	NodeID    = core.NodeID
+	ClusterID = core.ClusterID
+)
+
+// Task is a unit of distributable work. Execute runs on whichever node
+// ends up holding the task; it may spawn subtasks through the Context.
+// Implementations must be gob-encodable values (no unexported fields
+// carrying state) and registered with Register.
+type Task interface {
+	Execute(ctx *Context) (any, error)
+}
+
+// Register makes a task type transferable between nodes.
+func Register(t Task) { gob.Register(t) }
+
+// RegisterValue makes a result type transferable between nodes; basic
+// types (ints, floats, strings, slices of them) work out of the box.
+func RegisterValue(v any) { gob.Register(v) }
+
+// wire messages of the runtime protocol
+type stealMsg struct {
+	Thief   NodeID
+	Cluster ClusterID
+	Seq     uint64
+}
+
+type stealReplyMsg struct {
+	Seq    uint64
+	HasJob bool
+	Job    jobMsg
+}
+
+type jobMsg struct {
+	ID    uint64
+	Owner NodeID
+	Task  Task
+}
+
+type resultMsg struct {
+	ID    uint64
+	Value any
+	Err   string
+}
+
+type holdingMsg struct {
+	ID     uint64
+	Holder NodeID
+}
+
+type returnJobMsg struct {
+	Job jobMsg
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func stringErr(s string) error {
+	if s == "" {
+		return nil
+	}
+	return fmt.Errorf("%s", s)
+}

@@ -1,0 +1,66 @@
+package satin
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/transport"
+)
+
+// The runtime over real TCP sockets: a hub, a registry and three nodes
+// exchanging gob-encoded jobs and results through the loopback
+// interface — the deployment mode for nodes in separate processes.
+func TestSatinOverTCP(t *testing.T) {
+	hub, err := transport.NewTCPHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	fab := transport.NewTCP(hub.Addr())
+
+	srv, err := registry.NewServer(fab, fastReg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var nodes []*Node
+	for _, id := range []NodeID{"tcp/00", "tcp/01", "tcp/02"} {
+		n, err := StartNode(NodeConfig{
+			ID:                id,
+			Cluster:           "tcp",
+			Fabric:            fab,
+			Registry:          fastReg(),
+			LocalStealTimeout: 200 * time.Millisecond,
+			WANStealTimeout:   time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Kill()
+		}
+	}()
+
+	val, err := nodes[0].Run(tfib{N: 16, Leaf: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.(int) != fibLeaves(16) {
+		t.Fatalf("fib(16) over TCP = %v, want %d", val, fibLeaves(16))
+	}
+	// Work should have crossed the sockets.
+	moved := 0
+	for _, n := range nodes[1:] {
+		if n.Report().BusySec > 0 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("no work crossed the TCP fabric")
+	}
+}
