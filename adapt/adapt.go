@@ -6,18 +6,19 @@
 // signalling the worst nodes to leave — all without any application
 // performance model.
 //
-// The same decision engine also drives the discrete-event simulator
-// (package grid); this package runs it against the real work-stealing
-// runtime (package satin) over a transport fabric and an Ibis-style
-// registry.
+// The adaptation policy itself lives in internal/coord, shared with the
+// discrete-event simulator (internal/des): this package is only the
+// real-runtime driver. It feeds the kernel the reports arriving over
+// the transport fabric, derives the live set from an Ibis-style
+// registry, and applies the kernel's effects (provisioning via the grid
+// scheduler, evicting via registry leave signals).
 package adapt
 
 import (
-	"fmt"
-	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/registry"
@@ -52,9 +53,10 @@ func WeightedAverageEfficiency(stats []NodeStats) float64 {
 // Provisioner supplies processors — the grid scheduler's role
 // (satin.Grid implements it).
 type Provisioner interface {
-	// Provision starts up to n new nodes, skipping any the veto
+	// Provision starts up to n new nodes whose cluster uplink meets the
+	// learned minimum bandwidth (0 = no bound), skipping any the veto
 	// rejects, and returns how many actually started.
-	Provision(n int, veto func(NodeID, ClusterID) bool) int
+	Provision(n int, minBandwidth float64, veto func(NodeID, ClusterID) bool) int
 }
 
 // EndpointName is the coordinator's well-known transport endpoint.
@@ -76,31 +78,27 @@ type Config struct {
 	MonitorOnly bool
 }
 
-// PeriodRecord is one coordinator tick, kept for inspection.
-type PeriodRecord struct {
-	Time    time.Time
-	WAE     float64
-	Nodes   int
-	Action  string
-	Detail  string
-	Added   int
-	Removed int
-}
+// PeriodRecord is one coordinator tick, kept for inspection. It is the
+// same record type the simulator logs (Time is seconds since Start),
+// emitted by the shared adaptation kernel.
+type PeriodRecord = coord.PeriodRecord
+
+// Annotation marks an adaptation event on the run's time axis.
+type Annotation = coord.Annotation
 
 // Coordinator is the running adaptation process.
 type Coordinator struct {
-	cfg  Config
-	eng  *core.Engine
-	reqs *core.Requirements
-	prov Provisioner
-	ep   transport.Endpoint
-	reg  *registry.Client
+	cfg   Config
+	kern  *coord.Kernel
+	prov  Provisioner
+	ep    transport.Endpoint
+	reg   *registry.Client
+	start time.Time
 
-	mu        sync.Mutex
-	reports   map[NodeID]metrics.Report
-	history   []PeriodRecord
-	protected map[NodeID]bool
-	messages  int
+	mu          sync.Mutex
+	history     []PeriodRecord
+	annotations []Annotation
+	messages    int
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -117,10 +115,6 @@ func Start(f transport.Fabric, prov Provisioner, cfg Config) (*Coordinator, erro
 	if cfg.Thresholds == (Thresholds{}) {
 		cfg.Thresholds = DefaultThresholds()
 	}
-	eng, err := core.NewEngine(cfg.Thresholds)
-	if err != nil {
-		return nil, err
-	}
 	ep, err := f.Endpoint(EndpointName)
 	if err != nil {
 		return nil, err
@@ -131,19 +125,25 @@ func Start(f transport.Fabric, prov Provisioner, cfg Config) (*Coordinator, erro
 		return nil, err
 	}
 	c := &Coordinator{
-		cfg:       cfg,
-		eng:       eng,
-		reqs:      core.NewRequirements(),
-		prov:      prov,
-		ep:        ep,
-		reg:       reg,
-		reports:   make(map[NodeID]metrics.Report),
-		protected: make(map[NodeID]bool),
-		stop:      make(chan struct{}),
+		cfg:   cfg,
+		prov:  prov,
+		ep:    ep,
+		reg:   reg,
+		start: time.Now(),
+		stop:  make(chan struct{}),
 	}
-	for _, id := range cfg.Protected {
-		c.protected[id] = true
+	th := cfg.Thresholds
+	kern, err := coord.New(coord.Config{
+		Engine:      &th,
+		MonitorOnly: cfg.MonitorOnly,
+	}, runtimeActuator{c})
+	if err != nil {
+		reg.Close()
+		ep.Close()
+		return nil, err
 	}
+	c.kern = kern
+	c.kern.Protect(cfg.Protected...)
 	ep.SetHandler(c.handle)
 	c.wg.Add(1)
 	go c.loop()
@@ -163,11 +163,7 @@ func (c *Coordinator) Stop() {
 
 // Protect marks a node as unremovable (e.g. after electing a new root
 // host).
-func (c *Coordinator) Protect(id NodeID) {
-	c.mu.Lock()
-	c.protected[id] = true
-	c.mu.Unlock()
-}
+func (c *Coordinator) Protect(id NodeID) { c.kern.Protect(id) }
 
 // History returns the period records so far.
 func (c *Coordinator) History() []PeriodRecord {
@@ -176,8 +172,15 @@ func (c *Coordinator) History() []PeriodRecord {
 	return append([]PeriodRecord(nil), c.history...)
 }
 
+// Annotations returns the adaptation events recorded so far.
+func (c *Coordinator) Annotations() []Annotation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Annotation(nil), c.annotations...)
+}
+
 // Requirements exposes what the run has taught the coordinator.
-func (c *Coordinator) Requirements() *Requirements { return c.reqs }
+func (c *Coordinator) Requirements() *Requirements { return c.kern.Requirements() }
 
 func (c *Coordinator) handle(msg transport.Message) {
 	switch msg.Kind {
@@ -186,24 +189,22 @@ func (c *Coordinator) handle(msg transport.Message) {
 		if transport.Decode(msg.Payload, &rep) != nil {
 			return
 		}
+		c.kern.Report(rep)
 		c.mu.Lock()
-		c.reports[rep.Node] = rep
 		c.messages++
 		c.mu.Unlock()
 	case "report-batch":
 		// Batched reports from a per-cluster sub-coordinator (the
-		// hierarchical deployment of the paper's §7). The batch keeps
+		// hierarchical deployment of the paper's §7). The kernel keeps
 		// only each node's freshest report.
 		var batch reportBatch
 		if transport.Decode(msg.Payload, &batch) != nil {
 			return
 		}
-		c.mu.Lock()
 		for _, rep := range batch.Reports {
-			if cur, ok := c.reports[rep.Node]; !ok || rep.End >= cur.End {
-				c.reports[rep.Node] = rep
-			}
+			c.kern.Report(rep)
 		}
+		c.mu.Lock()
 		c.messages++
 		c.mu.Unlock()
 	}
@@ -231,117 +232,61 @@ func (c *Coordinator) loop() {
 	}
 }
 
-// tick is one pass of the paper's Figure-2 loop.
+// tick is the driver's side of the adaptation loop: derive the live
+// worker set from the registry, hand it to the shared kernel (which
+// owns the whole Figure-2 policy), and log the period.
 func (c *Coordinator) tick() {
-	// Live workers according to the registry; reports of departed
-	// nodes are dropped, reports of new nodes may be missing — both
-	// tolerated, as in the paper.
-	live := make(map[NodeID]registry.NodeInfo)
+	// Live workers according to the registry; the kernel drops reports
+	// of departed nodes and tolerates missing reports of new ones —
+	// both as in the paper.
+	var live []NodeID
 	for _, m := range c.reg.Members() {
 		if m.Cluster != "" {
-			live[m.ID] = m
+			live = append(live, m.ID)
 		}
 	}
-	c.mu.Lock()
-	var stats []NodeStats
-	for id, rep := range c.reports {
-		if _, ok := live[id]; ok {
-			stats = append(stats, rep.Stats())
-		} else {
-			delete(c.reports, id)
-		}
-	}
-	c.mu.Unlock()
-	sort.Slice(stats, func(i, j int) bool { return stats[i].Node < stats[j].Node })
-
-	rec := PeriodRecord{Time: time.Now(), Nodes: len(live)}
-	if len(stats) == 0 {
-		c.mu.Lock()
-		c.history = append(c.history, rec)
-		c.mu.Unlock()
-		return
-	}
-
-	d := c.eng.Decide(stats)
-	rec.WAE = d.WAE
-	rec.Action = d.Action.String()
-	rec.Detail = d.Reason
-	if !c.cfg.MonitorOnly {
-		acted := false
-		switch d.Action {
-		case core.ActionAdd:
-			rec.Added = c.prov.Provision(d.AddCount, c.veto)
-			acted = rec.Added > 0
-		case core.ActionRemoveNodes:
-			rec.Removed = c.evict(d.RemoveNodes, "badness")
-			acted = rec.Removed > 0
-		case core.ActionRemoveCluster:
-			if bw := c.observedBandwidth(d.RemoveCluster); bw > 0 {
-				c.reqs.LearnMinBandwidth(bw)
-			}
-			removed := c.evict(d.RemoveNodes, "cluster uplink saturated")
-			if removed > 0 {
-				c.reqs.BlacklistCluster(d.RemoveCluster,
-					fmt.Sprintf("inter-cluster overhead %.0f%%", d.ClusterInterComm*100))
-			}
-			rec.Removed = removed
-			acted = removed > 0
-		}
-		if acted {
-			// The stored reports describe the pre-action configuration;
-			// deciding on them again would chain actions off stale data
-			// (e.g. evicting a second cluster for overhead the first
-			// one caused). Start the next period fresh.
-			c.mu.Lock()
-			c.reports = make(map[NodeID]metrics.Report)
-			c.mu.Unlock()
-		}
-	}
+	rec := c.kern.Tick(time.Since(c.start).Seconds(), live)
 	c.mu.Lock()
 	c.history = append(c.history, rec)
 	c.mu.Unlock()
 }
 
-func (c *Coordinator) veto(node NodeID, cluster ClusterID) bool {
-	return c.reqs.NodeBlacklisted(node, cluster)
+// runtimeActuator applies the kernel's effects through the real
+// runtime: the grid scheduler provisions, the registry delivers leave
+// signals. It deliberately does not implement coord.Migrator — the real
+// scheduler cannot rank idle resources by application-specific speed.
+type runtimeActuator struct{ c *Coordinator }
+
+func (a runtimeActuator) Provision(n int, minBandwidth float64, veto coord.Veto) int {
+	return a.c.prov.Provision(n, minBandwidth, veto)
 }
 
-func (c *Coordinator) evict(victims []NodeID, reason string) int {
-	c.mu.Lock()
-	protected := make(map[NodeID]bool, len(c.protected))
-	for id := range c.protected {
-		protected[id] = true
-	}
-	c.mu.Unlock()
-	removed := 0
+// Evict signals each victim to leave; a node whose signal fails (e.g.
+// it already left) is not counted, so the kernel blacklists exactly the
+// nodes that were told to go.
+func (a runtimeActuator) Evict(victims []NodeID, reason string) []NodeID {
+	evicted := make([]NodeID, 0, len(victims))
 	for _, id := range victims {
-		if protected[id] {
+		if err := a.c.reg.Signal(id, "leave"); err != nil {
 			continue
 		}
-		if err := c.reg.Signal(id, "leave"); err != nil {
-			continue
-		}
-		c.reqs.BlacklistNode(id, reason)
-		c.mu.Lock()
-		delete(c.reports, id)
-		c.mu.Unlock()
-		removed++
+		evicted = append(evicted, id)
 	}
-	return removed
+	return evicted
 }
 
-func (c *Coordinator) observedBandwidth(cluster ClusterID) float64 {
+// ObservedBandwidth returns 0: the real deployment has no NWS-style
+// link monitor, so the kernel falls back to the achieved per-report
+// throughput (the capacity-preferred order is the kernel's).
+func (a runtimeActuator) ObservedBandwidth(ClusterID) float64 { return 0 }
+
+func (a runtimeActuator) Annotate(label string) {
+	c := a.c
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	sum, n := 0.0, 0
-	for _, rep := range c.reports {
-		if rep.Cluster == cluster && rep.InterBandwidth > 0 {
-			sum += rep.InterBandwidth
-			n++
-		}
-	}
-	if n == 0 {
-		return 0
-	}
-	return sum / float64(n)
+	c.annotations = append(c.annotations, Annotation{
+		Time: time.Since(c.start).Seconds(), Label: label,
+	})
+	c.mu.Unlock()
 }
+
+var _ coord.Actuator = runtimeActuator{}

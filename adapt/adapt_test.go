@@ -180,8 +180,28 @@ func TestMonitorOnlyNeverActs(t *testing.T) {
 	}
 	defer coord.Stop()
 
-	// Idle grid: an acting coordinator would remove nodes.
+	// A trickle of work keeps the measured WAE genuinely positive
+	// (a fully idle grid's WAE is exactly zero), while the mostly-idle
+	// node set is one an acting coordinator would shrink.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			fut := master.Submit(apps.Fib{N: 12, SeqCutoff: 10})
+			fut.Wait()
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
 	time.Sleep(2 * time.Second)
+	close(stop)
+	<-done
 	if got := g.NodeCount(); got != 4 {
 		t.Fatalf("monitor-only run changed the node set: %d nodes", got)
 	}
@@ -201,7 +221,6 @@ func TestMonitorOnlyNeverActs(t *testing.T) {
 	if !recorded {
 		t.Error("WAE never computed despite reports")
 	}
-	_ = master
 }
 
 func TestDefaultThresholdsMatchPaper(t *testing.T) {

@@ -74,14 +74,14 @@ func main() {
 		fmt.Printf("    runtime: no-adapt %.0f s | adaptive %.0f s | monitor-only %.0f s | improvement %.0f%%\n",
 			na.Runtime, ad.Runtime, mo.Runtime, out.Improvement()*100)
 		fmt.Printf("    nodes: adaptive final %d (peak %d) | iterations no-adapt %s\n",
-			ad.FinalNodes, ad.PeakNodes, trace.Sparkline(na, 60))
-		fmt.Printf("    %36s adaptive %s\n", "", trace.Sparkline(ad, 60))
+			ad.FinalNodes, ad.PeakNodes, trace.Sparkline(series(na), 60))
+		fmt.Printf("    %36s adaptive %s\n", "", trace.Sparkline(series(ad), 60))
 		if len(ad.Annotations) > 0 {
 			fmt.Println("    timeline:")
-			trace.WriteAnnotations(prefixWriter{"      "}, ad)
+			trace.WriteAnnotations(prefixWriter{"      "}, ad.Annotations)
 		}
 		if *periods {
-			trace.WritePeriods(prefixWriter{"      "}, ad)
+			trace.WritePeriods(prefixWriter{"      "}, ad.Periods)
 		}
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, sc.ID, out); err != nil {
@@ -102,6 +102,16 @@ func main() {
 	trace.WriteRuntimeTable(os.Stdout, rows)
 }
 
+// series converts a simulator result into the runtime-independent view
+// the trace renderers consume.
+func series(r *des.Result) trace.Series {
+	s := trace.Series{Periods: r.Periods, Annotations: r.Annotations}
+	for _, it := range r.Iterations {
+		s.Iterations = append(s.Iterations, trace.Iteration(it))
+	}
+	return s
+}
+
 func writeCSV(dir, id string, out *expt.Outcome) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -111,9 +121,9 @@ func writeCSV(dir, id string, out *expt.Outcome) error {
 		return err
 	}
 	defer f.Close()
-	m := make(map[string]*des.Result, len(out.Results))
+	m := make(map[string]trace.Series, len(out.Results))
 	for v, r := range out.Results {
-		m[string(v)] = r
+		m[string(v)] = series(r)
 	}
 	trace.WriteIterationsCSV(f, m)
 	return nil
@@ -128,12 +138,12 @@ func writeSVG(dir string, sc expt.Scenario, out *expt.Outcome) error {
 		return err
 	}
 	defer f.Close()
-	m := make(map[string]*des.Result, len(out.Results))
+	m := make(map[string]trace.Series, len(out.Results))
 	for v, r := range out.Results {
 		if v == expt.MonitorOnly {
 			continue // the figures plot the NA vs AD series
 		}
-		m[string(v)] = r
+		m[string(v)] = series(r)
 	}
 	trace.WriteIterationsSVG(f, fmt.Sprintf("Scenario %s: %s", sc.ID, sc.Name), m)
 	return nil

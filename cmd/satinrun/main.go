@@ -25,6 +25,7 @@ import (
 
 	"repro/adapt"
 	"repro/internal/apps"
+	"repro/internal/trace"
 	"repro/satin"
 )
 
@@ -123,10 +124,13 @@ func main() {
 		}
 	}
 	if coord != nil {
-		fmt.Println("coordinator history:")
-		for _, h := range coord.History() {
-			fmt.Printf("  WAE=%.3f nodes=%2d action=%-14s +%d -%d\n",
-				h.WAE, h.Nodes, h.Action, h.Added, h.Removed)
+		// The same unified period log the simulator prints (both are
+		// the shared kernel's coord.PeriodRecord).
+		fmt.Println("coordinator period log:")
+		trace.WritePeriods(os.Stdout, coord.History())
+		if anns := coord.Annotations(); len(anns) > 0 {
+			fmt.Println("adaptation timeline:")
+			trace.WriteAnnotations(os.Stdout, anns)
 		}
 		fmt.Printf("learned: %s\n", coord.Requirements())
 	}

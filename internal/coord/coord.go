@@ -1,0 +1,497 @@
+// Package coord implements the paper's Figure-2 adaptation loop ONCE,
+// independently of the runtime that executes the application. The
+// Kernel owns everything between "statistics arrive" and "effects are
+// requested": report ingestion, two-period smoothing, the decision
+// engine call, requirements learning (minimum bandwidth, blacklists),
+// the cluster-eviction fallback, bootstrap when the computation died,
+// optional opportunistic migration, and the post-action report reset.
+//
+// Runtimes plug in through the small Actuator interface: the
+// discrete-event simulator (internal/des) and the real
+// registry+transport runtime (adapt) both feed metrics.Report values
+// in and apply the kernel's effects out, so the adaptation policy can
+// never diverge between them again. This is the separation the Cactus
+// Worm line of work argues for — an adaptation manager decoupled from
+// the execution substrate — and the precondition for hardening or
+// replicating the coordinator without doing the work twice.
+package coord
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Veto is the scheduler-side filter derived from the learned
+// requirements: it rejects blacklisted nodes and clusters.
+type Veto = func(core.NodeID, core.ClusterID) bool
+
+// Actuator is the runtime-facing side of the kernel: the four effects
+// an adaptation decision can require. Implementations must be safe to
+// call from the kernel's Tick (they are invoked with the kernel's lock
+// held, so they must not call back into the kernel synchronously).
+//
+// The contract per method:
+//
+//   - Provision asks the runtime's scheduler for up to n nodes that
+//     meet the learned minimum uplink bandwidth (0 = no bound),
+//     skipping anything the veto rejects, preferring sites the
+//     application already occupies (locality). It returns how many
+//     nodes were actually granted.
+//   - Evict signals the listed nodes to leave and returns the subset
+//     that was actually signalled; the kernel blacklists exactly that
+//     subset. The kernel never passes protected nodes.
+//   - ObservedBandwidth is the grid monitoring service's NWS-style
+//     view of the cluster's access-link capacity (0 = no such service
+//     or link never exercised). It is the preferred source for the
+//     learned bandwidth bound; per-report achieved shares are only the
+//     fallback (see learnClusterBandwidth).
+//   - Annotate marks an adaptation event on the runtime's timeline
+//     (figures, logs). Purely informational.
+type Actuator interface {
+	Provision(n int, minBandwidth float64, veto Veto) int
+	Evict(victims []core.NodeID, reason string) []core.NodeID
+	ObservedBandwidth(cluster core.ClusterID) float64
+	Annotate(label string)
+}
+
+// Migrator is the optional Actuator extension for opportunistic
+// migration (the paper's §7 future-work item): a scheduler that can
+// rank idle resources by application-specific speed and grant nodes
+// from a named site. Actuators that do not implement it simply never
+// migrate opportunistically.
+type Migrator interface {
+	// BestAvailable returns the free, non-vetoed cluster with the
+	// fastest processors, its per-processor speed, and how many nodes
+	// it has free ("" when nothing is available).
+	BestAvailable(veto Veto) (core.ClusterID, float64, int)
+	// ProvisionFrom is Provision restricted to one cluster.
+	ProvisionFrom(cluster core.ClusterID, n int, minBandwidth float64, veto Veto) int
+}
+
+// PeriodRecord is one coordinator tick — the unified period-log entry
+// both runtimes (and internal/trace) render.
+type PeriodRecord struct {
+	Time    float64 // seconds (virtual for the DES, since start for the real runtime)
+	WAE     float64
+	Nodes   int    // live participants at the tick
+	Action  string // core.Action string, "" when idle/monitor-only
+	Detail  string
+	Added   int
+	Removed int
+}
+
+// Annotation marks an adaptation or scenario event on the time axis.
+type Annotation struct {
+	Time  float64
+	Label string
+}
+
+// Config tunes a Kernel.
+type Config struct {
+	// Engine configures the decision engine; nil means the kernel only
+	// monitors (it records WAE but never decides).
+	Engine *core.Config
+	// MonitorOnly computes and records but never decides or acts (the
+	// paper's "runtime 3", used to price the adaptation support).
+	MonitorOnly bool
+	// DisableBlacklist lets the scheduler hand back removed resources
+	// (ablation: a persistent bad link then causes oscillation).
+	DisableBlacklist bool
+	// Opportunistic enables opportunistic migration when the actuator
+	// implements Migrator.
+	Opportunistic bool
+	// OpportunisticFactor is how much faster an available cluster must
+	// be than the slowest live node to trigger a migration (default 1.5).
+	OpportunisticFactor float64
+}
+
+// Kernel is the runtime-independent adaptation coordinator. It is safe
+// for concurrent use: the real runtime feeds Report from transport
+// handlers while its ticker calls Tick.
+type Kernel struct {
+	cfg  Config
+	eng  *core.Engine // nil = monitor-only
+	reqs *core.Requirements
+	act  Actuator
+
+	mu      sync.Mutex
+	reports map[core.NodeID]metrics.Report
+	// prevStats keeps the previous period's per-node statistics: the
+	// kernel decides on the average of two periods, smoothing out the
+	// heavy-tailed per-period noise of a few large job transfers.
+	prevStats map[core.NodeID]core.NodeStats
+	protected map[core.NodeID]bool
+}
+
+// New builds a Kernel. cfg.Engine is validated when present.
+func New(cfg Config, act Actuator) (*Kernel, error) {
+	if act == nil {
+		return nil, fmt.Errorf("coord: nil actuator")
+	}
+	if cfg.OpportunisticFactor == 0 {
+		cfg.OpportunisticFactor = 1.5
+	}
+	k := &Kernel{
+		cfg:       cfg,
+		reqs:      core.NewRequirements(),
+		act:       act,
+		reports:   make(map[core.NodeID]metrics.Report),
+		prevStats: make(map[core.NodeID]core.NodeStats),
+		protected: make(map[core.NodeID]bool),
+	}
+	if cfg.Engine != nil {
+		eng, err := core.NewEngine(*cfg.Engine)
+		if err != nil {
+			return nil, err
+		}
+		k.eng = eng
+	}
+	return k, nil
+}
+
+// Requirements exposes what the run has taught the kernel.
+func (k *Kernel) Requirements() *core.Requirements { return k.reqs }
+
+// Report ingests one node's per-period statistics. Only the freshest
+// report per node is kept (batched deliveries may reorder).
+func (k *Kernel) Report(rep metrics.Report) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if cur, ok := k.reports[rep.Node]; ok && rep.End < cur.End {
+		return
+	}
+	k.reports[rep.Node] = rep
+}
+
+// Forget drops a departed node's state immediately (Tick also prunes
+// nodes missing from the live set, so calling this is optional).
+func (k *Kernel) Forget(id core.NodeID) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	delete(k.reports, id)
+	delete(k.prevStats, id)
+}
+
+// Reports returns a copy of the kernel's current report view.
+func (k *Kernel) Reports() map[core.NodeID]metrics.Report {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make(map[core.NodeID]metrics.Report, len(k.reports))
+	for id, rep := range k.reports {
+		out[id] = rep
+	}
+	return out
+}
+
+// Protect marks nodes as unremovable (the node hosting the root of the
+// computation, and in the real system the process the user started).
+func (k *Kernel) Protect(ids ...core.NodeID) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for _, id := range ids {
+		k.protected[id] = true
+	}
+}
+
+// SetProtected replaces the protected set — used by runtimes where the
+// protected role moves (a new master is elected after a crash).
+func (k *Kernel) SetProtected(ids ...core.NodeID) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.protected = make(map[core.NodeID]bool, len(ids))
+	for _, id := range ids {
+		k.protected[id] = true
+	}
+}
+
+// veto is the scheduler filter derived from the learned requirements.
+func (k *Kernel) veto(node core.NodeID, cluster core.ClusterID) bool {
+	return k.reqs.NodeBlacklisted(node, cluster)
+}
+
+// Tick runs one pass of the paper's Figure-2 loop at time now over the
+// runtime's current live set, and returns the period's record. Reports
+// of nodes no longer live are pruned; live nodes whose first period has
+// not completed are simply missing, as in the paper ("the coordinator
+// may miss data ... this causes small inaccuracies but does not
+// influence the adaptation").
+func (k *Kernel) Tick(now float64, live []core.NodeID) PeriodRecord {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+
+	liveSet := make(map[core.NodeID]bool, len(live))
+	for _, id := range live {
+		liveSet[id] = true
+	}
+	for id := range k.reports {
+		if !liveSet[id] {
+			delete(k.reports, id)
+		}
+	}
+
+	ids := append([]core.NodeID(nil), live...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var stats []core.NodeStats
+	next := make(map[core.NodeID]core.NodeStats, len(ids))
+	for _, id := range ids {
+		rep, ok := k.reports[id]
+		if !ok {
+			continue
+		}
+		cur := rep.Stats()
+		next[id] = cur
+		if prev, ok := k.prevStats[id]; ok {
+			cur = smooth(cur, prev)
+		}
+		stats = append(stats, cur)
+	}
+	k.prevStats = next
+
+	rec := PeriodRecord{
+		Time:  now,
+		WAE:   core.WeightedAverageEfficiency(stats),
+		Nodes: len(live),
+	}
+	if k.eng == nil || k.cfg.MonitorOnly {
+		if len(stats) > 0 {
+			rec.Detail = fmt.Sprintf("monitor only: WAE %.3f on %d nodes", rec.WAE, len(stats))
+		}
+		return rec
+	}
+	if len(stats) == 0 {
+		// Either no node has completed a period yet (let them report)
+		// or the whole computation died — in the latter case bootstrap
+		// by requesting a replacement node.
+		if len(live) == 0 {
+			rec.Action = "add"
+			rec.Added = k.act.Provision(1, k.reqs.MinBandwidth(), k.veto)
+			rec.Detail = "no live nodes; bootstrap by requesting one"
+			if rec.Added > 0 {
+				k.act.Annotate("bootstrap: requested a replacement node")
+			}
+		}
+		return rec
+	}
+
+	d := k.eng.Decide(stats)
+	rec.WAE = d.WAE
+	rec.Action = d.Action.String()
+	rec.Detail = d.Reason
+
+	acted := false
+	switch d.Action {
+	case core.ActionNone:
+		if k.cfg.Opportunistic {
+			if added, removed := k.tryOpportunistic(stats); added > 0 {
+				rec.Action = "opportunistic-migrate"
+				rec.Added = added
+				rec.Removed = removed
+				acted = true
+				k.act.Annotate(fmt.Sprintf("opportunistic migration: +%d faster nodes, -%d slow",
+					added, removed))
+			}
+		}
+	case core.ActionAdd:
+		rec.Added = k.act.Provision(d.AddCount, k.reqs.MinBandwidth(), k.veto)
+		if rec.Added > 0 {
+			acted = true
+			k.act.Annotate(fmt.Sprintf("adding %d nodes (WAE %.2f)", rec.Added, d.WAE))
+		}
+	case core.ActionRemoveNodes:
+		rec.Removed = k.evict(d.RemoveNodes, "badness")
+		if rec.Removed > 0 {
+			acted = true
+			k.act.Annotate(fmt.Sprintf("removed %d worst nodes (WAE %.2f)", rec.Removed, d.WAE))
+		}
+	case core.ActionRemoveCluster:
+		// Learn the bandwidth requirement before the reports disappear.
+		k.learnClusterBandwidth(d)
+		removed := k.evict(d.RemoveNodes, "cluster uplink saturated")
+		if removed > 0 {
+			if !k.cfg.DisableBlacklist {
+				k.reqs.BlacklistCluster(d.RemoveCluster,
+					fmt.Sprintf("inter-cluster overhead %.0f%%", d.ClusterInterComm*100))
+			}
+			k.act.Annotate(fmt.Sprintf("removed badly connected cluster %s (%d nodes)",
+				d.RemoveCluster, removed))
+		} else {
+			// The offending cluster holds only protected nodes, which
+			// cannot leave; fall back to evicting the worst ordinary
+			// nodes so the coordinator does not spin on the same
+			// decision.
+			count := k.eng.ShrinkCount(len(stats), d.WAE)
+			ranked := core.RankNodes(stats, k.eng.Config().Weights)
+			var victims []core.NodeID
+			for _, nb := range ranked {
+				if len(victims) >= count {
+					break
+				}
+				if nb.Cluster != d.RemoveCluster {
+					victims = append(victims, nb.Node)
+				}
+			}
+			removed = k.evict(victims, "badness (cluster fallback)")
+			if removed > 0 {
+				k.act.Annotate(fmt.Sprintf("removed %d worst nodes (WAE %.2f)", removed, d.WAE))
+			}
+		}
+		rec.Removed = removed
+		acted = removed > 0
+	}
+	if acted {
+		// The stored reports describe the pre-action configuration;
+		// deciding on them again would chain actions off stale data
+		// (e.g. evicting a second cluster for overhead the first one
+		// caused). Start the next period fresh — including the
+		// smoothing window, whose previous period is just as stale.
+		k.reports = make(map[core.NodeID]metrics.Report)
+		k.prevStats = make(map[core.NodeID]core.NodeStats)
+	}
+	return rec
+}
+
+// smooth averages the overhead fractions of two consecutive periods
+// and merges their link samples: per-period overheads are heavy-tailed
+// (one big cross-cluster job transfer can dominate a node's period),
+// and decisions as drastic as evacuating a cluster should not ride on
+// one period's tail events. Speeds are always the latest benchmark
+// measurement.
+func smooth(cur, prev core.NodeStats) core.NodeStats {
+	cur.Idle = (cur.Idle + prev.Idle) / 2
+	cur.IntraComm = (cur.IntraComm + prev.IntraComm) / 2
+	cur.InterComm = (cur.InterComm + prev.InterComm) / 2
+	merged := make(map[core.ClusterID]core.LinkSample, len(cur.Links)+len(prev.Links))
+	for _, links := range []map[core.ClusterID]core.LinkSample{cur.Links, prev.Links} {
+		for peer, l := range links {
+			m := merged[peer]
+			m.Seconds += l.Seconds
+			m.Bytes += l.Bytes
+			merged[peer] = m
+		}
+	}
+	if len(merged) > 0 {
+		cur.Links = merged
+	}
+	return cur
+}
+
+// learnClusterBandwidth tightens the minimum-bandwidth requirement
+// when a cluster is evacuated for insufficient uplink bandwidth. The
+// bound must be a LINK CAPACITY (that is what the scheduler can
+// compare against), so the sources are tried capacity-first:
+//
+//  1. the actuator's NWS-style observed link capacity,
+//  2. the mean per-pair achieved share from the nodes' reports (which
+//     divides the capacity among concurrent flows),
+//  3. the decision's best measured pair bandwidth.
+func (k *Kernel) learnClusterBandwidth(d core.Decision) {
+	bw := k.act.ObservedBandwidth(d.RemoveCluster)
+	if bw <= 0 {
+		bw = k.reportedBandwidth(d.RemoveCluster)
+	}
+	if bw <= 0 {
+		bw = d.MeasuredBandwidth
+	}
+	if bw > 0 {
+		k.reqs.LearnMinBandwidth(bw)
+	}
+}
+
+// reportedBandwidth is the fallback bandwidth estimate for a cluster:
+// the mean achieved inter-cluster throughput its nodes reported.
+func (k *Kernel) reportedBandwidth(c core.ClusterID) float64 {
+	sum, n := 0.0, 0
+	for _, rep := range k.reports {
+		if rep.Cluster == c && rep.InterBandwidth > 0 {
+			sum += rep.InterBandwidth
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// evict filters out protected nodes, asks the actuator to remove the
+// rest, and blacklists exactly the nodes that actually left so the
+// scheduler does not hand them straight back.
+func (k *Kernel) evict(victims []core.NodeID, reason string) int {
+	want := make([]core.NodeID, 0, len(victims))
+	for _, id := range victims {
+		if !k.protected[id] {
+			want = append(want, id)
+		}
+	}
+	if len(want) == 0 {
+		return 0
+	}
+	evicted := k.act.Evict(want, reason)
+	for _, id := range evicted {
+		if !k.cfg.DisableBlacklist {
+			k.reqs.BlacklistNode(id, reason)
+		}
+		delete(k.reports, id)
+		delete(k.prevStats, id)
+	}
+	return len(evicted)
+}
+
+// tryOpportunistic implements opportunistic migration: when clearly
+// faster processors are idle in the grid, migrate to them even though
+// WAE is inside the band — add replacements from the fastest site and
+// evict the slow nodes they displace. The paper's scenario 5 is the
+// motivating case: after the badly connected cluster left, ~3x slower
+// nodes kept the WAE legal and nothing improved further without this.
+func (k *Kernel) tryOpportunistic(stats []core.NodeStats) (added, removed int) {
+	mig, ok := k.act.(Migrator)
+	if !ok {
+		return 0, 0 // the runtime's scheduler cannot rank idle resources
+	}
+	slowest := math.Inf(1)
+	for _, st := range stats {
+		if st.Speed > 0 && st.Speed < slowest {
+			slowest = st.Speed
+		}
+	}
+	if math.IsInf(slowest, 1) {
+		return 0, 0 // no measured speeds yet
+	}
+	cluster, speed, free := mig.BestAvailable(k.veto)
+	if cluster == "" || speed < slowest*k.cfg.OpportunisticFactor {
+		return 0, 0
+	}
+	// The migration set: live nodes clearly slower than the candidate
+	// site, slowest first; protected nodes stay where they are.
+	var slow []core.NodeStats
+	for _, st := range stats {
+		if st.Speed > 0 && st.Speed*k.cfg.OpportunisticFactor <= speed && !k.protected[st.Node] {
+			slow = append(slow, st)
+		}
+	}
+	sort.Slice(slow, func(i, j int) bool {
+		if slow[i].Speed != slow[j].Speed {
+			return slow[i].Speed < slow[j].Speed
+		}
+		return slow[i].Node < slow[j].Node
+	})
+	want := len(slow)
+	if want > free {
+		want = free
+	}
+	if want == 0 {
+		return 0, 0
+	}
+	added = mig.ProvisionFrom(cluster, want, k.reqs.MinBandwidth(), k.veto)
+	victims := make([]core.NodeID, 0, added)
+	for i := 0; i < added && i < len(slow); i++ {
+		victims = append(victims, slow[i].Node)
+	}
+	removed = k.evict(victims, "opportunistic migration")
+	return added, removed
+}

@@ -1,19 +1,17 @@
 package des
 
 import (
-	"fmt"
-	"math"
 	"sort"
 
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/metrics"
 )
 
-// coordinatorTick is the adaptation coordinator's periodic job: gather
-// the latest per-node reports, compute the weighted average efficiency,
-// and — unless this is a monitor-only run — act on the decision engine's
-// verdict by requesting nodes from the scheduler or signalling nodes to
-// leave. This is the paper's Figure 2 loop.
+// coordinatorTick is the simulator's side of the adaptation loop: it
+// re-arms the timer, hands the live set to the shared coord.Kernel
+// (which owns the whole Figure-2 policy — smoothing, deciding, learning,
+// acting through simActuator), and records the period.
 func (s *Sim) coordinatorTick() {
 	if s.done {
 		return
@@ -23,179 +21,33 @@ func (s *Sim) coordinatorTick() {
 			s.k.After(s.p.Mon.Period, s.coordinatorTick)
 		}
 	}()
-
-	// Use the most recent report of every live participant; nodes whose
-	// first period has not completed yet are simply missing, as in the
-	// paper ("the coordinator may miss data ... this causes small
-	// inaccuracies but does not influence the adaptation").
-	var stats []core.NodeStats
-	next := make(map[core.NodeID]core.NodeStats, len(s.order))
+	live := make([]core.NodeID, 0, len(s.order))
 	for _, n := range s.order {
-		rep, ok := s.reports[n.id]
-		if !ok {
-			continue
-		}
-		cur := rep.Stats()
-		next[n.id] = cur
-		// Smooth over two periods: per-period overhead fractions are
-		// heavy-tailed (one big cross-cluster job transfer can dominate
-		// a node's period), and decisions as drastic as evacuating a
-		// cluster should not ride on one period's tail events. Speeds
-		// are always the latest benchmark measurement.
-		if prev, ok := s.prevStats[n.id]; ok {
-			cur.Idle = (cur.Idle + prev.Idle) / 2
-			cur.IntraComm = (cur.IntraComm + prev.IntraComm) / 2
-			cur.InterComm = (cur.InterComm + prev.InterComm) / 2
-			merged := make(map[core.ClusterID]core.LinkSample, len(cur.Links)+len(prev.Links))
-			for peer, l := range cur.Links {
-				m := merged[peer]
-				m.Seconds += l.Seconds
-				m.Bytes += l.Bytes
-				merged[peer] = m
-			}
-			for peer, l := range prev.Links {
-				m := merged[peer]
-				m.Seconds += l.Seconds
-				m.Bytes += l.Bytes
-				merged[peer] = m
-			}
-			if len(merged) > 0 {
-				cur.Links = merged
-			}
-		}
-		stats = append(stats, cur)
+		live = append(live, n.id)
 	}
-	s.prevStats = next
-	rec := PeriodRecord{
-		Time:  float64(s.k.Now()),
-		WAE:   core.WeightedAverageEfficiency(stats),
-		Nodes: len(s.order),
-	}
-	if s.eng == nil || s.MonitorOnlyRun() {
-		s.res.Periods = append(s.res.Periods, rec)
-		return
-	}
-	if len(stats) == 0 {
-		// Either no node has completed a period yet (let them report)
-		// or the whole computation died — in the latter case the engine
-		// bootstraps by requesting a replacement node.
-		if len(s.order) == 0 {
-			rec.Action = "add"
-			rec.Added = s.applyAdd(1)
-			rec.Detail = "no live nodes; bootstrap by requesting one"
-			if rec.Added > 0 {
-				s.annotate("bootstrap: requested a replacement node")
-			}
-		}
-		s.res.Periods = append(s.res.Periods, rec)
-		return
-	}
-
-	d := s.eng.Decide(stats)
-	rec.WAE = d.WAE
-	rec.Action = d.Action.String()
-	rec.Detail = d.Reason
-
-	switch d.Action {
-	case core.ActionNone:
-		if s.p.Opportunistic {
-			if added, removed := s.tryOpportunistic(stats); added > 0 {
-				rec.Action = "opportunistic-migrate"
-				rec.Added = added
-				rec.Removed = removed
-				s.annotate(fmt.Sprintf("opportunistic migration: +%d faster nodes, -%d slow",
-					added, removed))
-			}
-		}
-	case core.ActionAdd:
-		added := s.applyAdd(d.AddCount)
-		rec.Added = added
-		if added > 0 {
-			s.annotate(fmt.Sprintf("adding %d nodes (WAE %.2f)", added, d.WAE))
-		}
-	case core.ActionRemoveNodes:
-		removed := s.applyRemove(d.RemoveNodes, "badness")
-		rec.Removed = removed
-		if removed > 0 {
-			s.annotate(fmt.Sprintf("removed %d worst nodes (WAE %.2f)", removed, d.WAE))
-		}
-	case core.ActionRemoveCluster:
-		// Learn the bandwidth requirement before the reports disappear.
-		// The bound must be a LINK CAPACITY (that is what the scheduler
-		// can compare against), so the NWS-style observed link rate is
-		// preferred; the per-pair achieved share (which divides the
-		// capacity among concurrent flows) is only the fallback.
-		bw := s.observedClusterBandwidth(d.RemoveCluster)
-		if bw <= 0 {
-			bw = d.MeasuredBandwidth
-		}
-		if bw > 0 {
-			s.reqs.LearnMinBandwidth(bw)
-		}
-		removed := s.applyRemove(d.RemoveNodes, "cluster uplink saturated")
-		if removed > 0 {
-			if !s.p.DisableBlacklist {
-				s.reqs.BlacklistCluster(d.RemoveCluster,
-					fmt.Sprintf("inter-cluster overhead %.0f%%", d.ClusterInterComm*100))
-			}
-			s.annotate(fmt.Sprintf("removed badly connected cluster %s (%d nodes)",
-				d.RemoveCluster, removed))
-		} else {
-			// The offending cluster holds only the master, which cannot
-			// leave; fall back to evicting the worst ordinary nodes so
-			// the coordinator does not spin on the same decision.
-			k := s.eng.ShrinkCount(len(stats), d.WAE)
-			ranked := core.RankNodes(stats, s.eng.Config().Weights)
-			var victims []core.NodeID
-			for _, nb := range ranked {
-				if len(victims) >= k {
-					break
-				}
-				if nb.Cluster != d.RemoveCluster {
-					victims = append(victims, nb.Node)
-				}
-			}
-			removed = s.applyRemove(victims, "badness (cluster fallback)")
-			if removed > 0 {
-				s.annotate(fmt.Sprintf("removed %d worst nodes (WAE %.2f)", removed, d.WAE))
-			}
-		}
-		rec.Removed = removed
-	}
+	rec := s.kern.Tick(float64(s.k.Now()), live)
 	s.res.Periods = append(s.res.Periods, rec)
 }
 
 // MonitorOnlyRun reports whether this run only measures (runtime 3).
 func (s *Sim) MonitorOnlyRun() bool { return s.p.MonitorOnly }
 
-// observedClusterBandwidth estimates the bandwidth to a cluster. The
-// primary source is the grid monitoring service's view of the cluster's
-// access link (the NWS-style alternative the paper names), which sees
-// the achieved link rate; the per-node reports' achieved throughput is
-// the fallback when the link was never exercised.
-func (s *Sim) observedClusterBandwidth(c core.ClusterID) float64 {
-	if up := s.net.Uplink(c); up != nil {
-		if bw := up.ObservedBandwidth(); bw > 0 {
-			return bw
-		}
-	}
-	sum, n := 0.0, 0
-	for _, rep := range s.reports {
-		if rep.Cluster == c && rep.InterBandwidth > 0 {
-			sum += rep.InterBandwidth
-			n++
-		}
-	}
-	if n == 0 {
-		return 0
-	}
-	return sum / float64(n)
+// LastReports returns a copy of the coordinator's current report view.
+func (s *Sim) LastReports() map[core.NodeID]metrics.Report {
+	return s.kern.Reports()
 }
 
-// applyAdd asks the scheduler for count nodes, preferring the clusters
+// simActuator applies the kernel's effects inside the simulation. It
+// also implements coord.Migrator: the simulated Zorilla pool can rank
+// idle resources by application-specific speed, which enables the
+// kernel's opportunistic migration.
+type simActuator struct{ s *Sim }
+
+// Provision asks the scheduler for count nodes, preferring the clusters
 // the application already occupies (locality) and excluding everything
-// the learned requirements veto.
-func (s *Sim) applyAdd(count int) int {
+// the veto (the learned requirements) rejects.
+func (a *simActuator) Provision(count int, minBandwidth float64, veto coord.Veto) int {
+	s := a.s
 	type cc struct {
 		id core.ClusterID
 		n  int
@@ -218,96 +70,43 @@ func (s *Sim) applyAdd(count int) int {
 	for _, p := range prefs {
 		prefer = append(prefer, p.id)
 	}
-	veto := func(node core.NodeID, cluster core.ClusterID) bool {
-		return s.reqs.NodeBlacklisted(node, cluster)
-	}
 	// The learned minimum-bandwidth requirement travels to the
 	// scheduler: clusters with insufficient uplinks are never handed
 	// out, even ones the application has not tried yet.
-	refs := s.pool.RequestBandwidth(count, prefer, veto, s.reqs.MinBandwidth())
+	refs := s.pool.RequestBandwidth(count, prefer, veto, minBandwidth)
 	for _, ref := range refs {
 		s.addNode(ref, false)
 	}
 	return len(refs)
 }
 
-// tryOpportunistic implements opportunistic migration: when clearly
-// faster processors are idle in the grid, migrate to them even though
-// WAE is inside the band — add replacements from the fastest site and
-// evict the slow nodes they displace. The paper's scenario 5 is the
-// motivating case: after the badly connected cluster left, ~3x slower
-// nodes kept the WAE legal and nothing improved further without this.
-func (s *Sim) tryOpportunistic(stats []core.NodeStats) (added, removed int) {
-	slowest := math.Inf(1)
-	for _, st := range stats {
-		if st.Speed > 0 && st.Speed < slowest {
-			slowest = st.Speed
-		}
-	}
-	if math.IsInf(slowest, 1) {
-		return 0, 0 // no measured speeds yet
-	}
-	veto := func(node core.NodeID, cluster core.ClusterID) bool {
-		return s.reqs.NodeBlacklisted(node, cluster)
-	}
-	cluster, speed, free := s.pool.BestAvailable(veto)
-	if cluster == "" || speed < slowest*s.p.OpportunisticFactor {
-		return 0, 0
-	}
-	// The migration set: live nodes clearly slower than the candidate
-	// site, slowest first; the master stays where it is.
-	var slow []core.NodeStats
-	for _, st := range stats {
-		if st.Speed > 0 && st.Speed*s.p.OpportunisticFactor <= speed {
-			if n, ok := s.nodes[st.Node]; ok && n != s.master {
-				slow = append(slow, st)
-			}
-		}
-	}
-	sort.Slice(slow, func(i, j int) bool {
-		if slow[i].Speed != slow[j].Speed {
-			return slow[i].Speed < slow[j].Speed
-		}
-		return slow[i].Node < slow[j].Node
-	})
-	want := len(slow)
-	if want > free {
-		want = free
-	}
-	if want == 0 {
-		return 0, 0
-	}
-	refs := s.pool.RequestBandwidth(want, []core.ClusterID{cluster}, veto, s.reqs.MinBandwidth())
+// ProvisionFrom is Provision restricted to one cluster (migration
+// target chosen by the kernel).
+func (a *simActuator) ProvisionFrom(cluster core.ClusterID, count int, minBandwidth float64, veto coord.Veto) int {
+	s := a.s
+	refs := s.pool.RequestBandwidth(count, []core.ClusterID{cluster}, veto, minBandwidth)
 	for _, ref := range refs {
 		s.addNode(ref, false)
 	}
-	victims := make([]core.NodeID, 0, len(refs))
-	for i := 0; i < len(refs) && i < len(slow); i++ {
-		victims = append(victims, slow[i].Node)
-	}
-	removed = s.applyRemove(victims, "opportunistic migration")
-	return len(refs), removed
+	return len(refs)
 }
 
-// applyRemove signals the listed nodes to leave and blacklists them so
-// the scheduler does not hand them straight back. The master is never
-// removed: it hosts the root of the computation (and, in the real
-// system, the process the user started).
-func (s *Sim) applyRemove(victims []core.NodeID, reason string) int {
-	removed := 0
+// BestAvailable exposes the pool's speed ranking of free resources.
+func (a *simActuator) BestAvailable(veto coord.Veto) (core.ClusterID, float64, int) {
+	return a.s.pool.BestAvailable(veto)
+}
+
+// Evict signals the listed nodes to leave. Departure is cheap (Satin's
+// malleability), so it applies after one message latency. The master is
+// skipped as a second line of defence — the kernel already protects it.
+func (a *simActuator) Evict(victims []core.NodeID, reason string) []core.NodeID {
+	s := a.s
+	evicted := make([]core.NodeID, 0, len(victims))
 	for _, id := range victims {
 		n, ok := s.nodes[id]
-		if !ok || n.gone() {
+		if !ok || n.gone() || n == s.master {
 			continue
 		}
-		if n == s.master {
-			continue
-		}
-		if !s.p.DisableBlacklist {
-			s.reqs.BlacklistNode(id, reason)
-		}
-		// The leave signal travels to the node; departure is cheap
-		// (Satin's malleability), so apply it after one message latency.
 		lat := s.net.Latency(s.coordClst, n.cluster)
 		node := n
 		s.k.After(lat, func() {
@@ -315,18 +114,25 @@ func (s *Sim) applyRemove(victims []core.NodeID, reason string) int {
 				s.leave(node)
 			}
 		})
-		removed++
+		evicted = append(evicted, id)
 	}
-	return removed
+	return evicted
 }
 
-// Stats helpers used by tests and the expt harness.
-
-// LastReports returns a copy of the coordinator's current report view.
-func (s *Sim) LastReports() map[core.NodeID]metrics.Report {
-	out := make(map[core.NodeID]metrics.Report, len(s.reports))
-	for k, v := range s.reports {
-		out[k] = v
+// ObservedBandwidth is the grid monitoring service's view of a
+// cluster's access link (the NWS-style alternative the paper names),
+// which sees the achieved link rate; 0 when the link was never
+// exercised.
+func (a *simActuator) ObservedBandwidth(c core.ClusterID) float64 {
+	if up := a.s.net.Uplink(c); up != nil {
+		return up.ObservedBandwidth()
 	}
-	return out
+	return 0
 }
+
+func (a *simActuator) Annotate(label string) { a.s.annotate(label) }
+
+var (
+	_ coord.Actuator = (*simActuator)(nil)
+	_ coord.Migrator = (*simActuator)(nil)
+)

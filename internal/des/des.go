@@ -14,6 +14,7 @@ package des
 import (
 	"fmt"
 
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/topo"
 	"repro/internal/workload"
@@ -235,22 +236,12 @@ type IterRecord struct {
 	Nodes    int // live nodes when the iteration completed
 }
 
-// PeriodRecord is one coordinator tick.
-type PeriodRecord struct {
-	Time    float64
-	WAE     float64
-	Nodes   int
-	Action  string // core.Action string, "" when idle
-	Detail  string
-	Added   int
-	Removed int
-}
+// PeriodRecord is one coordinator tick — the unified record emitted by
+// the shared adaptation kernel (the real runtime logs the same type).
+type PeriodRecord = coord.PeriodRecord
 
 // Annotation marks a scenario event on the time axis.
-type Annotation struct {
-	Time  float64
-	Label string
-}
+type Annotation = coord.Annotation
 
 // Result is everything a run produces.
 type Result struct {

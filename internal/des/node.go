@@ -344,7 +344,7 @@ func (s *Sim) scheduleMonitor(n *simNode) {
 				return
 			}
 			if _, live := s.nodes[n.id]; live {
-				s.reports[n.id] = rep
+				s.kern.Report(rep)
 			}
 		})
 		s.scheduleMonitor(n)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/netmodel"
@@ -80,8 +81,9 @@ type Sim struct {
 	k    *vtime.Sim
 	net  *netmodel.Net
 	pool *sched.Pool
-	eng  *core.Engine
-	reqs *core.Requirements
+	// kern is the shared adaptation kernel; the Sim is only its driver
+	// (it feeds reports in and applies effects via simActuator).
+	kern *coord.Kernel
 
 	nodes map[core.NodeID]*simNode
 	order []*simNode // live nodes in deterministic order
@@ -97,12 +99,6 @@ type Sim struct {
 	outstanding int // tasks alive in the current iteration
 	exchWaiting int
 	parked      []simTask // requeue target when no master exists
-
-	reports map[core.NodeID]metrics.Report
-	// prevStats keeps the previous period's per-node statistics: the
-	// coordinator decides on the average of two periods, smoothing out
-	// the heavy-tailed per-period noise of a few large job transfers.
-	prevStats map[core.NodeID]core.NodeStats
 
 	res     *Result
 	done    bool
@@ -126,12 +122,9 @@ func runReturningSim(p Params) (*Result, *Sim, error) {
 		p:           p,
 		k:           vtime.New(p.Seed),
 		net:         netmodel.New(p.Topo),
-		reqs:        core.NewRequirements(),
 		nodes:       make(map[core.NodeID]*simNode),
 		used:        make(map[core.ClusterID]bool),
 		clusterLoad: make(map[core.ClusterID]float64),
-		reports:     make(map[core.NodeID]metrics.Report),
-		prevStats:   make(map[core.NodeID]core.NodeStats),
 		res:         &Result{},
 	}
 	pool, err := sched.NewPool(p.Topo)
@@ -139,13 +132,17 @@ func runReturningSim(p Params) (*Result, *Sim, error) {
 		return nil, nil, err
 	}
 	s.pool = pool
-	if p.Adapt != nil {
-		eng, err := core.NewEngine(*p.Adapt)
-		if err != nil {
-			return nil, nil, err
-		}
-		s.eng = eng
+	kern, err := coord.New(coord.Config{
+		Engine:              p.Adapt,
+		MonitorOnly:         p.MonitorOnly,
+		DisableBlacklist:    p.DisableBlacklist,
+		Opportunistic:       p.Opportunistic,
+		OpportunisticFactor: p.OpportunisticFactor,
+	}, &simActuator{s})
+	if err != nil {
+		return nil, nil, err
 	}
+	s.kern = kern
 
 	// Initial allocation: the user's hand-picked starting set.
 	for _, a := range p.Initial {
@@ -157,7 +154,7 @@ func runReturningSim(p Params) (*Result, *Sim, error) {
 			s.addNode(ref, true)
 		}
 	}
-	s.master = s.order[0]
+	s.setMaster(s.order[0])
 	s.coordClst = s.master.cluster
 
 	for _, inj := range p.Events {
@@ -184,8 +181,8 @@ func runReturningSim(p Params) (*Result, *Sim, error) {
 	}
 	s.res.FinalNodes = len(s.order)
 	s.res.Completed = !s.aborted && s.iter >= s.p.Spec.Iterations
-	s.res.MinBandwidth = s.reqs.MinBandwidth()
-	s.res.BlacklistedClusters = s.reqs.BlacklistedClusters()
+	s.res.MinBandwidth = s.kern.Requirements().MinBandwidth()
+	s.res.BlacklistedClusters = s.kern.Requirements().BlacklistedClusters()
 	for c := range s.used {
 		s.res.UsedClusters = append(s.res.UsedClusters, c)
 	}
@@ -249,7 +246,7 @@ func (s *Sim) addNode(ref sched.NodeRef, immediate bool) {
 		}
 		becameMaster := false
 		if s.master == nil {
-			s.master = n
+			s.setMaster(n)
 			becameMaster = true
 			if len(s.parked) > 0 {
 				n.deque = append(n.deque, s.parked...)
@@ -320,7 +317,7 @@ func (s *Sim) removeFromOrder(n *simNode) {
 		}
 	}
 	delete(s.nodes, n.id)
-	delete(s.reports, n.id)
+	s.kern.Forget(n.id)
 }
 
 func (s *Sim) cancelNodeTimers(n *simNode) {
@@ -346,12 +343,24 @@ func (s *Sim) requeue(t simTask) {
 	}
 }
 
+// setMaster records the master and keeps the kernel's protected set in
+// sync: the master hosts the root of the computation (and, in the real
+// system, the process the user started), so it must never be evicted.
+func (s *Sim) setMaster(n *simNode) {
+	s.master = n
+	if n != nil {
+		s.kern.SetProtected(n.id)
+	} else {
+		s.kern.SetProtected()
+	}
+}
+
 // pickNewMaster promotes the first live node after the master left.
 func (s *Sim) pickNewMaster() {
 	if len(s.order) > 0 {
-		s.master = s.order[0]
+		s.setMaster(s.order[0])
 	} else {
-		s.master = nil
+		s.setMaster(nil)
 	}
 }
 

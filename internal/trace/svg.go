@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"io"
 	"sort"
-
-	"repro/internal/des"
 )
 
 // WriteIterationsSVG renders a scenario's iteration-duration series as
@@ -13,7 +11,7 @@ import (
 // 3–7: iteration number on the x axis, duration in seconds on the y
 // axis, one line per variant, with the coordinator's annotations
 // marked on the adaptive run's timeline.
-func WriteIterationsSVG(w io.Writer, title string, variants map[string]*des.Result) {
+func WriteIterationsSVG(w io.Writer, title string, variants map[string]Series) {
 	const (
 		width   = 720
 		height  = 380
@@ -27,12 +25,12 @@ func WriteIterationsSVG(w io.Writer, title string, variants map[string]*des.Resu
 
 	names := make([]string, 0, len(variants))
 	maxIter, maxDur := 1, 0.0
-	for name, res := range variants {
+	for name, s := range variants {
 		names = append(names, name)
-		if len(res.Iterations) > maxIter {
-			maxIter = len(res.Iterations)
+		if len(s.Iterations) > maxIter {
+			maxIter = len(s.Iterations)
 		}
-		for _, it := range res.Iterations {
+		for _, it := range s.Iterations {
 			if it.Duration > maxDur {
 				maxDur = it.Duration
 			}
@@ -116,13 +114,13 @@ func WriteIterationsSVG(w io.Writer, title string, variants map[string]*des.Resu
 }
 
 // iterAt finds the iteration index running at time t.
-func iterAt(res *des.Result, t float64) int {
-	for i, it := range res.Iterations {
+func iterAt(s Series, t float64) int {
+	for i, it := range s.Iterations {
 		if it.Start+it.Duration >= t {
 			return i
 		}
 	}
-	return len(res.Iterations) - 1
+	return len(s.Iterations) - 1
 }
 
 func truncate(s string, n int) string {

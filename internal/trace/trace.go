@@ -3,6 +3,11 @@
 // (Figures 3–7) as aligned text or CSV, and the coordinator's period
 // log. Output goes to any io.Writer, so the same renderers back the
 // gridsim CLI, the test logs, and EXPERIMENTS.md.
+//
+// The package renders the runtime-independent types — coord.PeriodRecord
+// and the Series defined here — so any driver (the simulator, the real
+// runtime, a future one) can feed it; it does not depend on the
+// simulator.
 package trace
 
 import (
@@ -11,8 +16,25 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/des"
+	"repro/internal/coord"
 )
+
+// Iteration is one application iteration in a result series — the unit
+// the paper's figures 3–7 plot.
+type Iteration struct {
+	Index    int
+	Start    float64
+	Duration float64
+	Nodes    int // live nodes when the iteration completed
+}
+
+// Series is the renderable view of one run: its iteration durations
+// plus the coordinator's period log and annotations.
+type Series struct {
+	Iterations  []Iteration
+	Periods     []coord.PeriodRecord
+	Annotations []coord.Annotation
+}
 
 // RuntimeTable writes the Figure-1 style table: one row per scenario,
 // columns for the three runtime variants and the derived numbers.
@@ -50,7 +72,7 @@ func WriteRuntimeTable(w io.Writer, rows []RuntimeRow) {
 // WriteIterationsCSV writes one scenario's iteration-duration series
 // for multiple variants side by side (the Figures 3–7 data): columns
 // iteration, then one duration column per variant.
-func WriteIterationsCSV(w io.Writer, variants map[string]*des.Result) {
+func WriteIterationsCSV(w io.Writer, variants map[string]Series) {
 	names := make([]string, 0, len(variants))
 	for name := range variants {
 		names = append(names, name)
@@ -62,17 +84,17 @@ func WriteIterationsCSV(w io.Writer, variants map[string]*des.Result) {
 	}
 	fmt.Fprintln(w)
 	maxIters := 0
-	for _, res := range variants {
-		if len(res.Iterations) > maxIters {
-			maxIters = len(res.Iterations)
+	for _, s := range variants {
+		if len(s.Iterations) > maxIters {
+			maxIters = len(s.Iterations)
 		}
 	}
 	for i := 0; i < maxIters; i++ {
 		fmt.Fprintf(w, "%d", i)
 		for _, name := range names {
-			res := variants[name]
-			if i < len(res.Iterations) {
-				it := res.Iterations[i]
+			s := variants[name]
+			if i < len(s.Iterations) {
+				it := s.Iterations[i]
 				fmt.Fprintf(w, ",%.3f,%d", it.Duration, it.Nodes)
 			} else {
 				fmt.Fprintf(w, ",,")
@@ -84,9 +106,10 @@ func WriteIterationsCSV(w io.Writer, variants map[string]*des.Result) {
 
 // WritePeriods logs the coordinator's view: time, WAE, node count and
 // the action taken — the trajectory the paper narrates per scenario.
-func WritePeriods(w io.Writer, res *des.Result) {
+// Both runtimes produce this record type, so their logs read the same.
+func WritePeriods(w io.Writer, periods []coord.PeriodRecord) {
 	fmt.Fprintln(w, "time_s  WAE    nodes  action")
-	for _, p := range res.Periods {
+	for _, p := range periods {
 		action := p.Action
 		if action == "" {
 			action = "(monitor)"
@@ -104,20 +127,20 @@ func WritePeriods(w io.Writer, res *des.Result) {
 
 // WriteAnnotations lists the scenario's injected events and the
 // coordinator's reactions on the time axis.
-func WriteAnnotations(w io.Writer, res *des.Result) {
-	for _, a := range res.Annotations {
+func WriteAnnotations(w io.Writer, anns []coord.Annotation) {
+	for _, a := range anns {
 		fmt.Fprintf(w, "%7.0f s  %s\n", a.Time, a.Label)
 	}
 }
 
 // Sparkline renders a coarse text plot of iteration durations — enough
 // to see the Figures 3–7 shapes in a terminal.
-func Sparkline(res *des.Result, width int) string {
-	if len(res.Iterations) == 0 {
+func Sparkline(s Series, width int) string {
+	if len(s.Iterations) == 0 {
 		return ""
 	}
 	max := 0.0
-	for _, it := range res.Iterations {
+	for _, it := range s.Iterations {
 		if it.Duration > max {
 			max = it.Duration
 		}
@@ -128,11 +151,11 @@ func Sparkline(res *des.Result, width int) string {
 	levels := []rune("▁▂▃▄▅▆▇█")
 	var sb strings.Builder
 	step := 1
-	if width > 0 && len(res.Iterations) > width {
-		step = (len(res.Iterations) + width - 1) / width
+	if width > 0 && len(s.Iterations) > width {
+		step = (len(s.Iterations) + width - 1) / width
 	}
-	for i := 0; i < len(res.Iterations); i += step {
-		d := res.Iterations[i].Duration
+	for i := 0; i < len(s.Iterations); i += step {
+		d := s.Iterations[i].Duration
 		idx := int(d / max * float64(len(levels)-1))
 		if idx < 0 {
 			idx = 0

@@ -4,23 +4,21 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/des"
+	"repro/internal/coord"
 )
 
-func sampleResult() *des.Result {
-	return &des.Result{
-		Completed: true,
-		Runtime:   100,
-		Iterations: []des.IterRecord{
+func sampleSeries() Series {
+	return Series{
+		Iterations: []Iteration{
 			{Index: 0, Start: 0, Duration: 10, Nodes: 4},
 			{Index: 1, Start: 10, Duration: 20, Nodes: 4},
 			{Index: 2, Start: 30, Duration: 5, Nodes: 6},
 		},
-		Periods: []des.PeriodRecord{
+		Periods: []coord.PeriodRecord{
 			{Time: 50, WAE: 0.42, Nodes: 4, Action: "add", Added: 2},
 			{Time: 100, WAE: 0.38, Nodes: 6},
 		},
-		Annotations: []des.Annotation{{Time: 12, Label: "load introduced"}},
+		Annotations: []coord.Annotation{{Time: 12, Label: "load introduced"}},
 	}
 }
 
@@ -51,9 +49,9 @@ func TestRuntimeRowImprovement(t *testing.T) {
 
 func TestWriteIterationsCSV(t *testing.T) {
 	var sb strings.Builder
-	short := &des.Result{Iterations: []des.IterRecord{{Index: 0, Duration: 7, Nodes: 2}}}
-	WriteIterationsCSV(&sb, map[string]*des.Result{
-		"adaptive": sampleResult(),
+	short := Series{Iterations: []Iteration{{Index: 0, Duration: 7, Nodes: 2}}}
+	WriteIterationsCSV(&sb, map[string]Series{
+		"adaptive": sampleSeries(),
 		"no-adapt": short,
 	})
 	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
@@ -74,7 +72,8 @@ func TestWriteIterationsCSV(t *testing.T) {
 
 func TestWritePeriodsAndAnnotations(t *testing.T) {
 	var sb strings.Builder
-	WritePeriods(&sb, sampleResult())
+	s := sampleSeries()
+	WritePeriods(&sb, s.Periods)
 	out := sb.String()
 	if !strings.Contains(out, "0.420") || !strings.Contains(out, "add +2") {
 		t.Errorf("periods output:\n%s", out)
@@ -83,15 +82,14 @@ func TestWritePeriodsAndAnnotations(t *testing.T) {
 		t.Errorf("empty action should render as (monitor):\n%s", out)
 	}
 	sb.Reset()
-	WriteAnnotations(&sb, sampleResult())
+	WriteAnnotations(&sb, s.Annotations)
 	if !strings.Contains(sb.String(), "load introduced") {
 		t.Errorf("annotations output: %s", sb.String())
 	}
 }
 
 func TestSparkline(t *testing.T) {
-	res := sampleResult()
-	s := Sparkline(res, 80)
+	s := Sparkline(sampleSeries(), 80)
 	if len([]rune(s)) != 3 {
 		t.Fatalf("sparkline %q should have 3 cells", s)
 	}
@@ -99,13 +97,13 @@ func TestSparkline(t *testing.T) {
 	if runes[1] <= runes[0] || runes[2] >= runes[0] {
 		t.Errorf("sparkline shape wrong: %q (20 > 10 > 5)", s)
 	}
-	if Sparkline(&des.Result{}, 10) != "" {
-		t.Error("empty result should give empty sparkline")
+	if Sparkline(Series{}, 10) != "" {
+		t.Error("empty series should give empty sparkline")
 	}
 	// Width compression.
-	long := &des.Result{}
+	var long Series
 	for i := 0; i < 100; i++ {
-		long.Iterations = append(long.Iterations, des.IterRecord{Duration: 1})
+		long.Iterations = append(long.Iterations, Iteration{Duration: 1})
 	}
 	if got := len([]rune(Sparkline(long, 50))); got > 50 {
 		t.Errorf("sparkline not compressed: %d cells", got)
@@ -114,9 +112,9 @@ func TestSparkline(t *testing.T) {
 
 func TestWriteIterationsSVG(t *testing.T) {
 	var sb strings.Builder
-	WriteIterationsSVG(&sb, "Scenario 4 <test>", map[string]*des.Result{
-		"adaptive": sampleResult(),
-		"no-adapt": {Iterations: []des.IterRecord{{Duration: 12}, {Duration: 13}}},
+	WriteIterationsSVG(&sb, "Scenario 4 <test>", map[string]Series{
+		"adaptive": sampleSeries(),
+		"no-adapt": {Iterations: []Iteration{{Duration: 12}, {Duration: 13}}},
 	})
 	out := sb.String()
 	for _, want := range []string{"<svg", "</svg>", "polyline", "Scenario 4 &lt;test&gt;",
@@ -130,7 +128,7 @@ func TestWriteIterationsSVG(t *testing.T) {
 	}
 	// Degenerate inputs must not panic or divide by zero.
 	sb.Reset()
-	WriteIterationsSVG(&sb, "empty", map[string]*des.Result{"x": {}})
+	WriteIterationsSVG(&sb, "empty", map[string]Series{"x": {}})
 	if !strings.Contains(sb.String(), "</svg>") {
 		t.Error("empty-result SVG malformed")
 	}

@@ -239,7 +239,9 @@ func (g *Grid) startRef(ref sched.NodeRef) (*Node, error) {
 
 // Provision implements the adaptation coordinator's "give me n nodes"
 // request with Zorilla-style locality: clusters already in use first.
-func (g *Grid) Provision(count int, veto func(NodeID, ClusterID) bool) int {
+// Clusters whose uplink is below the coordinator's learned minimum
+// bandwidth are never handed out (minBandwidth 0 = no bound).
+func (g *Grid) Provision(count int, minBandwidth float64, veto func(NodeID, ClusterID) bool) int {
 	g.mu.Lock()
 	per := make(map[ClusterID]int)
 	for _, n := range g.nodes {
@@ -250,7 +252,7 @@ func (g *Grid) Provision(count int, veto func(NodeID, ClusterID) bool) int {
 	for c := range per {
 		prefer = append(prefer, c)
 	}
-	refs := g.pool.Request(count, prefer, veto)
+	refs := g.pool.RequestBandwidth(count, prefer, veto, minBandwidth)
 	started := 0
 	for _, ref := range refs {
 		if _, err := g.startRef(ref); err == nil {

@@ -209,7 +209,7 @@ func TestProvisionAddsNodes(t *testing.T) {
 	if _, err := g.StartNodes("c0", 1); err != nil {
 		t.Fatal(err)
 	}
-	added := g.Provision(2, nil)
+	added := g.Provision(2, 0, nil)
 	if added != 2 {
 		t.Fatalf("Provision added %d, want 2", added)
 	}
@@ -222,7 +222,7 @@ func TestProvisionAddsNodes(t *testing.T) {
 		t.Errorf("locality violated: %v", perCluster)
 	}
 	veto := func(id NodeID, c ClusterID) bool { return true }
-	if added := g.Provision(1, veto); added != 0 {
+	if added := g.Provision(1, 0, veto); added != 0 {
 		t.Errorf("veto ignored: added %d", added)
 	}
 }
@@ -280,7 +280,7 @@ func TestCrashedClusterCapacityUnavailable(t *testing.T) {
 		t.Fatalf("killed %d, want 1", killed)
 	}
 	// Provisioning can only use the surviving cluster now.
-	added := g.Provision(4, nil)
+	added := g.Provision(4, 0, nil)
 	if added != 2 {
 		t.Fatalf("added %d after cluster crash, want 2 (c0 only)", added)
 	}
