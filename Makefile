@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify gridsim
+.PHONY: build test vet race verify gridsim chaos
 
 build:
 	$(GO) build ./...
@@ -26,3 +26,11 @@ verify: build vet race
 # Run the paper's evaluation scenarios (Figure 1 table + period logs).
 gridsim:
 	$(GO) run ./cmd/gridsim -scenario all
+
+# Chaos harness: the full seeded scenario corpus (24 randomized
+# DES scenarios), the fault-transport unit tests, and the live-runtime
+# chaos tests — all under the race detector. A failure prints its seed;
+# replay one scenario with
+#   go test ./internal/chaos -run 'ChaosCorpusDES/seed=N'
+chaos:
+	$(GO) test -race -run Chaos ./...

@@ -1,0 +1,338 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// EventKind enumerates scenario disturbances. The first three map to
+// des.Injection kinds and also apply to the live runtime through
+// satin.Grid; the last two are transport-level faults only the live
+// runtime (via FaultTransport) can experience — the DES abstracts
+// messages away and its analogue is already covered by crash + shape.
+type EventKind int
+
+const (
+	// EvLoad puts a competing CPU load on a cluster.
+	EvLoad EventKind = iota
+	// EvShape degrades a cluster's uplink bandwidth.
+	EvShape
+	// EvCrash kills Count nodes of a cluster abruptly (0 = all).
+	EvCrash
+	// EvDrop makes a cluster's uplink lossy and jittery (live only).
+	EvDrop
+	// EvPartition cuts a cluster off entirely until Heal (live only).
+	EvPartition
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvLoad:
+		return "load"
+	case EvShape:
+		return "shape"
+	case EvCrash:
+		return "crash"
+	case EvDrop:
+		return "drop"
+	case EvPartition:
+		return "partition"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one scheduled disturbance, in scenario (virtual) seconds.
+type Event struct {
+	At      float64
+	Kind    EventKind
+	Cluster core.ClusterID
+
+	Count     int     // EvCrash: victims (0 = whole cluster)
+	Load      float64 // EvLoad: competing load factor
+	Bandwidth float64 // EvShape: new uplink capacity, bytes/s
+	Drop      float64 // EvDrop: per-frame loss probability
+	Delay     float64 // EvDrop: added jitter ceiling, seconds
+	Heal      float64 // EvDrop/EvPartition: when the fault clears (0 = never)
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("t=%.0f %s %s", e.At, e.Kind, e.Cluster)
+	switch e.Kind {
+	case EvLoad:
+		s += fmt.Sprintf(" x%.1f", e.Load)
+	case EvShape:
+		s += fmt.Sprintf(" %.0fKB/s", e.Bandwidth/1e3)
+	case EvCrash:
+		if e.Count > 0 {
+			s += fmt.Sprintf(" %d nodes", e.Count)
+		} else {
+			s += " all"
+		}
+	case EvDrop:
+		s += fmt.Sprintf(" p=%.2f", e.Drop)
+	}
+	if e.Heal > 0 {
+		s += fmt.Sprintf(" heal@%.0f", e.Heal)
+	}
+	return s
+}
+
+// Scenario is one generated chaos run: a topology, an initial
+// allocation, and an injection schedule — all a pure function of Seed.
+type Scenario struct {
+	Seed    int64
+	Topo    topo.Topology
+	Initial []des.Alloc
+	Spec    workload.Spec
+	Period  float64
+	Horizon float64 // abort bound, virtual seconds
+	Events  []Event
+
+	// Refuge is a cluster the generator never disturbs, so the grid
+	// always retains healthy capacity and WAE recovery is achievable.
+	Refuge core.ClusterID
+}
+
+// DisturbEnd is the time the last disturbance lands or heals — the
+// point after which the WAE-recovery invariant starts watching.
+func (sc Scenario) DisturbEnd() float64 {
+	end := 0.0
+	for _, e := range sc.Events {
+		t := e.At
+		if e.Heal > t {
+			t = e.Heal
+		}
+		if t > end {
+			end = t
+		}
+	}
+	return end
+}
+
+// GenConfig bounds the randomized generator. The zero value gives the
+// default corpus shape.
+type GenConfig struct {
+	MinClusters int // default 3
+	MaxClusters int // default 5
+	MinNodes    int // per cluster, default 2
+	MaxNodes    int // per cluster, default 6
+	MaxEvents   int // default 3
+	Period      float64
+	// LiveFaults includes transport-level kinds (EvDrop, EvPartition)
+	// that only the live runtime can apply. Leave false for DES runs.
+	LiveFaults bool
+}
+
+func (g *GenConfig) defaults() {
+	if g.MinClusters == 0 {
+		g.MinClusters = 3
+	}
+	if g.MaxClusters == 0 {
+		g.MaxClusters = 5
+	}
+	if g.MinNodes == 0 {
+		g.MinNodes = 2
+	}
+	if g.MaxNodes == 0 {
+		g.MaxNodes = 6
+	}
+	if g.MaxEvents == 0 {
+		g.MaxEvents = 3
+	}
+	if g.Period == 0 {
+		g.Period = 180
+	}
+}
+
+// Generate builds the scenario for a seed. Same seed, same scenario —
+// the corpus tests rely on it, and a failure report is just the seed.
+func Generate(seed int64, cfg GenConfig) Scenario {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(seed))
+	span := func(lo, hi int) int { return lo + rng.Intn(hi-lo+1) }
+
+	nClusters := span(cfg.MinClusters, cfg.MaxClusters)
+	speeds := []float64{0.75, 1, 1, 1.5}
+	var t topo.Topology
+	for i := 0; i < nClusters; i++ {
+		t.Clusters = append(t.Clusters, topo.Cluster{
+			ID:              core.ClusterID(fmt.Sprintf("ch%d", i)),
+			Nodes:           span(cfg.MinNodes, cfg.MaxNodes),
+			Speed:           speeds[rng.Intn(len(speeds))],
+			LANLatency:      topo.LANLatency,
+			LANBandwidth:    topo.FastEthernetBandwidth,
+			WANLatency:      topo.WANLatencyOneWay,
+			UplinkBandwidth: topo.BackboneUplink,
+		})
+	}
+
+	// The refuge keeps recovery achievable: it is never disturbed and
+	// is guaranteed real capacity at normal speed.
+	refugeIdx := rng.Intn(nClusters)
+	refuge := &t.Clusters[refugeIdx]
+	if refuge.Nodes < 4 {
+		refuge.Nodes = 4
+	}
+	refuge.Speed = 1
+
+	// Initial allocation: the master's cluster plus possibly a second
+	// site. The master cluster is also spared from crash events (the
+	// kernel protects the master from eviction; the generator keeps
+	// full-site losses away from it so every scenario can finish).
+	masterIdx := rng.Intn(nClusters)
+	sc := Scenario{
+		Seed:   seed,
+		Topo:   t,
+		Period: cfg.Period,
+		Refuge: t.Clusters[refugeIdx].ID,
+	}
+	first := t.Clusters[masterIdx]
+	sc.Initial = append(sc.Initial, des.Alloc{Cluster: first.ID, Count: span(1, first.Nodes)})
+	if rng.Float64() < 0.5 {
+		secondIdx := rng.Intn(nClusters)
+		if secondIdx != masterIdx {
+			second := t.Clusters[secondIdx]
+			sc.Initial = append(sc.Initial, des.Alloc{Cluster: second.ID, Count: span(1, second.Nodes)})
+		}
+	}
+
+	startNodes := 0
+	for _, a := range sc.Initial {
+		startNodes += a.Count
+	}
+	// Sized so the run spans well past the event window (disturbances
+	// land between periods 2 and 8): ~20 iterations of a couple of
+	// monitoring periods each, whatever the adaptation does.
+	sc.Spec = workload.Spec{
+		Name:                   fmt.Sprintf("chaos-%d", seed),
+		Iterations:             20,
+		WorkPerIteration:       150 * float64(startNodes),
+		SequentialPerIteration: 2,
+		Grain:                  0.25,
+		Irregularity:           0.5,
+		BytesPerNode:           8e6,
+		ExchangeBytes:          0.5e6,
+		StealMsgBytes:          4096,
+	}
+	sc.Horizon = 80 * cfg.Period
+
+	// Disturbances hit only clusters that are neither the refuge nor
+	// (for crashes) the master's home — and prefer clusters the
+	// application starts on, where a disturbance actually hurts.
+	occupied := make(map[core.ClusterID]bool)
+	for _, a := range sc.Initial {
+		occupied[a.Cluster] = true
+	}
+	var targets, crashable []core.ClusterID
+	for i, c := range t.Clusters {
+		if i == refugeIdx {
+			continue
+		}
+		targets = append(targets, c.ID)
+		if occupied[c.ID] {
+			targets = append(targets, c.ID, c.ID) // triple weight
+		}
+		if i != masterIdx {
+			crashable = append(crashable, c.ID)
+		}
+	}
+	kinds := []EventKind{EvLoad, EvShape, EvCrash}
+	if cfg.LiveFaults {
+		kinds = append(kinds, EvDrop, EvPartition)
+	}
+	nEvents := span(1, cfg.MaxEvents)
+	for i := 0; i < nEvents && len(targets) > 0; i++ {
+		e := Event{
+			At:      cfg.Period * (2 + 4*rng.Float64()),
+			Kind:    kinds[rng.Intn(len(kinds))],
+			Cluster: targets[rng.Intn(len(targets))],
+		}
+		switch e.Kind {
+		case EvLoad:
+			e.Load = 4 + 12*rng.Float64()
+		case EvShape:
+			e.Bandwidth = 50e3 + 250e3*rng.Float64()
+		case EvCrash:
+			if len(crashable) == 0 {
+				// Nothing safely crashable: degrade to a load burst.
+				e.Kind = EvLoad
+				e.Load = 4 + 12*rng.Float64()
+				break
+			}
+			e.Cluster = crashable[rng.Intn(len(crashable))]
+			c, _ := t.Cluster(e.Cluster)
+			e.Count = rng.Intn(c.Nodes + 1) // 0 = all
+		case EvDrop:
+			e.Drop = 0.05 + 0.25*rng.Float64()
+			e.Delay = 0.01 + 0.04*rng.Float64()
+			e.Heal = e.At + cfg.Period*(1+2*rng.Float64())
+		case EvPartition:
+			e.Heal = e.At + cfg.Period*(0.5+rng.Float64())
+		}
+		sc.Events = append(sc.Events, e)
+	}
+	return sc
+}
+
+// Injections maps the scenario onto the simulator's event model.
+// Transport-level kinds have no DES representation and are skipped.
+func (sc Scenario) Injections() []des.Injection {
+	var out []des.Injection
+	for _, e := range sc.Events {
+		inj := des.Injection{
+			At:      e.At,
+			Cluster: e.Cluster,
+			Label:   e.String(),
+		}
+		switch e.Kind {
+		case EvLoad:
+			inj.Kind = des.InjSetLoad
+			inj.Load = e.Load
+		case EvShape:
+			inj.Kind = des.InjShapeUplink
+			inj.Bandwidth = e.Bandwidth
+		case EvCrash:
+			inj.Kind = des.InjCrash
+			inj.Count = e.Count
+		default:
+			continue
+		}
+		out = append(out, inj)
+	}
+	return out
+}
+
+// DESParams assembles a full simulator run for the scenario, with the
+// paper's default adaptation configuration.
+func (sc Scenario) DESParams() des.Params {
+	adapt := core.DefaultConfig()
+	p := des.Params{
+		Topo:    sc.Topo,
+		Spec:    sc.Spec,
+		Seed:    sc.Seed,
+		Initial: sc.Initial,
+		Mon:     des.DefaultMonitor(),
+		Adapt:   &adapt,
+		Events:  sc.Injections(),
+		MaxTime: sc.Horizon,
+	}
+	p.Mon.Period = sc.Period
+	return p
+}
+
+// RunDES executes the scenario on the simulator, recording an
+// Observation per coordinator tick for the invariant checker.
+func RunDES(sc Scenario) (*des.Result, []Observation, error) {
+	p := sc.DESParams()
+	var obs []Observation
+	p.Observe = func(rec des.PeriodRecord, reqs *core.Requirements, per map[core.ClusterID]int) {
+		obs = append(obs, NewObservation(rec, reqs, per))
+	}
+	res, err := des.Run(p)
+	return res, obs, err
+}

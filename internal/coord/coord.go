@@ -79,6 +79,7 @@ type PeriodRecord struct {
 	Time    float64 // seconds (virtual for the DES, since start for the real runtime)
 	WAE     float64
 	Nodes   int    // live participants at the tick
+	Stats   int    // node reports the tick decided on (0 = nothing to decide)
 	Action  string // core.Action string, "" when idle/monitor-only
 	Detail  string
 	Added   int
@@ -256,6 +257,7 @@ func (k *Kernel) Tick(now float64, live []core.NodeID) PeriodRecord {
 		Time:  now,
 		WAE:   core.WeightedAverageEfficiency(stats),
 		Nodes: len(live),
+		Stats: len(stats),
 	}
 	if k.eng == nil || k.cfg.MonitorOnly {
 		if len(stats) > 0 {

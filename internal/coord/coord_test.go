@@ -236,9 +236,9 @@ func (a *desStyleActuator) Evict(victims []core.NodeID, reason string) []core.No
 }
 
 func (a *desStyleActuator) ObservedBandwidth(core.ClusterID) float64 { return 0 }
-func (a *desStyleActuator) Annotate(l string)                       { a.labels = append(a.labels, l) }
-func (a *desStyleActuator) live() []core.NodeID                     { return append([]core.NodeID(nil), a.order...) }
-func (a *desStyleActuator) notes() []string                         { return a.labels }
+func (a *desStyleActuator) Annotate(l string)                        { a.labels = append(a.labels, l) }
+func (a *desStyleActuator) live() []core.NodeID                      { return append([]core.NodeID(nil), a.order...) }
+func (a *desStyleActuator) notes() []string                          { return a.labels }
 
 // adaptStyleActuator mimics the real-runtime driver: registry-style
 // membership (an unordered set), per-node leave signals, no NWS-style

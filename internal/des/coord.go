@@ -27,6 +27,13 @@ func (s *Sim) coordinatorTick() {
 	}
 	rec := s.kern.Tick(float64(s.k.Now()), live)
 	s.res.Periods = append(s.res.Periods, rec)
+	if s.p.Observe != nil {
+		perCluster := make(map[core.ClusterID]int)
+		for _, n := range s.order {
+			perCluster[n.cluster]++
+		}
+		s.p.Observe(rec, s.kern.Requirements(), perCluster)
+	}
 }
 
 // MonitorOnlyRun reports whether this run only measures (runtime 3).

@@ -146,6 +146,15 @@ type Params struct {
 	// be than the slowest live node to trigger a migration (default
 	// 1.5).
 	OpportunisticFactor float64
+
+	// Observe, when set, is called after every coordinator tick with
+	// the period record, the learned requirements, and the per-cluster
+	// live-node counts at that instant. The chaos harness uses it to
+	// assert cross-runtime invariants (monotone blacklists, no
+	// re-provisioning of evicted clusters) over the same unified log
+	// the real runtime emits. Purely observational: the callback must
+	// not mutate the simulation.
+	Observe func(rec PeriodRecord, reqs *core.Requirements, perCluster map[core.ClusterID]int)
 }
 
 // StealPolicy is the work-stealing victim-selection algorithm.

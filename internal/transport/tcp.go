@@ -62,6 +62,26 @@ func (h *TCPHub) Close() error {
 	return h.ln.Close()
 }
 
+// DropEndpoint abruptly severs the named endpoint's hub connection —
+// a connection reset mid-message, not a goodbye. The victim's socket is
+// closed with linger disabled so in-flight bytes are discarded, the way
+// a crashed process or a stateful firewall kills a long-lived grid
+// connection. Returns whether the endpoint was connected.
+func (h *TCPHub) DropEndpoint(name string) bool {
+	h.mu.Lock()
+	hc := h.conns[name]
+	delete(h.conns, name)
+	h.mu.Unlock()
+	if hc == nil {
+		return false
+	}
+	if tc, ok := hc.c.(*net.TCPConn); ok {
+		tc.SetLinger(0) // RST instead of FIN
+	}
+	hc.c.Close()
+	return true
+}
+
 func (h *TCPHub) acceptLoop() {
 	for {
 		c, err := h.ln.Accept()

@@ -2,6 +2,7 @@ package satin
 
 import (
 	"fmt"
+	"log"
 	"strings"
 	"sync"
 	"time"
@@ -37,9 +38,22 @@ type GridConfig struct {
 
 	Registry registry.Options
 
+	// Seed makes a whole-grid run reproducible from one value: every
+	// node's RNG derives its stream from it (Seed ^ hash(nodeID)), and
+	// seeded deployments log it on startup so a failure report carries
+	// everything needed to replay the run.
+	Seed int64
+
+	// WrapFabric, when set, wraps the grid's in-process fabric before
+	// the registry or any node attaches. The chaos harness interposes
+	// its fault-injecting transport here; everything — steal traffic,
+	// reports, heartbeats — then flows through the wrapper.
+	WrapFabric func(transport.Fabric) transport.Fabric
+
 	// Node carries the per-node defaults (benchmark, monitoring,
 	// coordinator endpoint, steal timeouts); ID/Cluster/Fabric are
-	// filled per started node.
+	// filled per started node, and Seed is filled from the grid-level
+	// Seed above.
 	Node NodeConfig
 }
 
@@ -63,7 +77,8 @@ func (c *GridConfig) defaults() {
 // Provision and removes them through registry signals.
 type Grid struct {
 	cfg    GridConfig
-	fabric *transport.InProc
+	inproc *transport.InProc // the raw emulated network (owned, closed last)
+	fabric transport.Fabric  // what everyone attaches to (possibly wrapped)
 	regSrv *registry.Server
 	pool   *sched.Pool
 
@@ -99,10 +114,18 @@ func NewGrid(cfg GridConfig) (*Grid, error) {
 		shaped: make(map[ClusterID]float64),
 		load:   make(map[ClusterID]float64),
 	}
-	g.fabric = transport.NewInProc(g.link)
+	g.inproc = transport.NewInProc(g.link)
+	g.fabric = g.inproc
+	if cfg.WrapFabric != nil {
+		g.fabric = cfg.WrapFabric(g.inproc)
+	}
+	if cfg.Seed != 0 {
+		g.cfg.Node.Seed = cfg.Seed
+		log.Printf("satin: grid seed=%d (%d clusters, %d nodes)", cfg.Seed, len(cfg.Clusters), t.TotalNodes())
+	}
 	srv, err := registry.NewServer(g.fabric, cfg.Registry)
 	if err != nil {
-		g.fabric.Close()
+		g.inproc.Close()
 		return nil, err
 	}
 	g.regSrv = srv
@@ -334,5 +357,5 @@ func (g *Grid) Close() {
 		n.Kill()
 	}
 	g.regSrv.Close()
-	g.fabric.Close()
+	g.inproc.Close()
 }
