@@ -23,7 +23,15 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/registry"
 	"repro/internal/transport"
+	"repro/internal/transport/wire"
 )
+
+func init() {
+	// "report" is shared with the satin package's sender side; Register
+	// is idempotent for identical (kind, type) pairs.
+	wire.Register[metrics.Report]("report")
+	wire.Register[reportBatch]("report-batch")
+}
 
 // Re-exported core types so downstream users need only this package.
 type (
@@ -91,7 +99,7 @@ type Coordinator struct {
 	cfg   Config
 	kern  *coord.Kernel
 	prov  Provisioner
-	ep    transport.Endpoint
+	wc    *wire.Conn
 	reg   *registry.Client
 	start time.Time
 
@@ -127,7 +135,7 @@ func Start(f transport.Fabric, prov Provisioner, cfg Config) (*Coordinator, erro
 	c := &Coordinator{
 		cfg:   cfg,
 		prov:  prov,
-		ep:    ep,
+		wc:    wire.New(ep),
 		reg:   reg,
 		start: time.Now(),
 		stop:  make(chan struct{}),
@@ -139,12 +147,13 @@ func Start(f transport.Fabric, prov Provisioner, cfg Config) (*Coordinator, erro
 	}, runtimeActuator{c})
 	if err != nil {
 		reg.Close()
-		ep.Close()
+		c.wc.Close()
 		return nil, err
 	}
 	c.kern = kern
 	c.kern.Protect(cfg.Protected...)
-	ep.SetHandler(c.handle)
+	wire.Handle(c.wc, c.onReport)
+	wire.Handle(c.wc, c.onReportBatch)
 	c.wg.Add(1)
 	go c.loop()
 	return c, nil
@@ -157,7 +166,7 @@ func (c *Coordinator) Stop() {
 		close(c.stop)
 		c.wg.Wait()
 		c.reg.Close()
-		c.ep.Close()
+		c.wc.Close()
 	})
 }
 
@@ -182,32 +191,23 @@ func (c *Coordinator) Annotations() []Annotation {
 // Requirements exposes what the run has taught the coordinator.
 func (c *Coordinator) Requirements() *Requirements { return c.kern.Requirements() }
 
-func (c *Coordinator) handle(msg transport.Message) {
-	switch msg.Kind {
-	case "report":
-		var rep metrics.Report
-		if transport.Decode(msg.Payload, &rep) != nil {
-			return
-		}
+func (c *Coordinator) onReport(rep metrics.Report, _ wire.Meta) {
+	c.kern.Report(rep)
+	c.mu.Lock()
+	c.messages++
+	c.mu.Unlock()
+}
+
+// onReportBatch takes batched reports from a per-cluster
+// sub-coordinator (the hierarchical deployment of the paper's §7). The
+// kernel keeps only each node's freshest report.
+func (c *Coordinator) onReportBatch(batch reportBatch, _ wire.Meta) {
+	for _, rep := range batch.Reports {
 		c.kern.Report(rep)
-		c.mu.Lock()
-		c.messages++
-		c.mu.Unlock()
-	case "report-batch":
-		// Batched reports from a per-cluster sub-coordinator (the
-		// hierarchical deployment of the paper's §7). The kernel keeps
-		// only each node's freshest report.
-		var batch reportBatch
-		if transport.Decode(msg.Payload, &batch) != nil {
-			return
-		}
-		for _, rep := range batch.Reports {
-			c.kern.Report(rep)
-		}
-		c.mu.Lock()
-		c.messages++
-		c.mu.Unlock()
 	}
+	c.mu.Lock()
+	c.messages++
+	c.mu.Unlock()
 }
 
 // MessagesReceived counts report messages (single or batched) the main

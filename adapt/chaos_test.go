@@ -18,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/registry"
 	"repro/internal/transport"
+	"repro/internal/transport/wire"
 )
 
 // scriptWorker is a registry member that obeys "leave" signals like a
@@ -103,8 +104,9 @@ func feedReports(t *testing.T, f transport.Fabric, stop chan struct{},
 	if err != nil {
 		t.Fatal(err)
 	}
+	wc := wire.New(ep)
 	go func() {
-		defer ep.Close()
+		defer wc.Close()
 		period := 0
 		const dur = 0.1
 		for {
@@ -118,8 +120,7 @@ func feedReports(t *testing.T, f transport.Fabric, stop chan struct{},
 				if w.gone() {
 					continue
 				}
-				rep := report(w, start, start+dur)
-				ep.Send(adapt.EndpointName, "report", transport.MustEncode(rep))
+				wire.Send(wc, adapt.EndpointName, report(w, start, start+dur))
 			}
 			period++
 		}

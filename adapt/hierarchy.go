@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/transport"
+	"repro/internal/transport/wire"
 )
 
 // SubCoordinator is the paper's §7 answer to the coordinator becoming
@@ -20,7 +21,7 @@ import (
 // coordinator's message load from O(nodes) to O(clusters) per period.
 type SubCoordinator struct {
 	cluster ClusterID
-	ep      transport.Endpoint
+	wc      *wire.Conn
 	main    string
 	period  time.Duration
 
@@ -56,12 +57,12 @@ func StartSub(f transport.Fabric, cluster ClusterID, period time.Duration) (*Sub
 	}
 	sc := &SubCoordinator{
 		cluster: cluster,
-		ep:      ep,
+		wc:      wire.New(ep),
 		main:    EndpointName,
 		period:  period,
 		stop:    make(chan struct{}),
 	}
-	ep.SetHandler(sc.handle)
+	wire.Handle(sc.wc, sc.onReport)
 	sc.wg.Add(1)
 	go sc.loop()
 	return sc, nil
@@ -74,18 +75,11 @@ func (sc *SubCoordinator) Stop() {
 		close(sc.stop)
 		sc.wg.Wait()
 		sc.flush()
-		sc.ep.Close()
+		sc.wc.Close()
 	})
 }
 
-func (sc *SubCoordinator) handle(msg transport.Message) {
-	if msg.Kind != "report" {
-		return
-	}
-	var rep metrics.Report
-	if transport.Decode(msg.Payload, &rep) != nil {
-		return
-	}
+func (sc *SubCoordinator) onReport(rep metrics.Report, _ wire.Meta) {
 	sc.mu.Lock()
 	sc.pending = append(sc.pending, rep)
 	sc.mu.Unlock()
@@ -113,9 +107,5 @@ func (sc *SubCoordinator) flush() {
 	if len(batch) == 0 {
 		return
 	}
-	payload, err := transport.Encode(reportBatch{Cluster: sc.cluster, Reports: batch})
-	if err != nil {
-		return
-	}
-	sc.ep.Send(sc.main, "report-batch", payload)
+	wire.Send(sc.wc, sc.main, reportBatch{Cluster: sc.cluster, Reports: batch})
 }

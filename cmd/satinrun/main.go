@@ -25,6 +25,7 @@ import (
 
 	"repro/adapt"
 	"repro/internal/apps"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/satin"
 )
@@ -41,8 +42,12 @@ func main() {
 		shape    = flag.String("shape", "", "throttle a cluster's WAN link: fs1=5000 (bytes/s)")
 		load     = flag.String("load", "", "competing CPU load on a cluster: fs1=3")
 		verbose  = flag.Bool("v", false, "print per-node statistics")
+		wireObs  = flag.Bool("wire-stats", false, "print the wire-layer frame/byte/error counters")
 	)
 	flag.Parse()
+	// Counters are also exported as the expvar "obs" for anything that
+	// scrapes this process.
+	obs.Publish()
 	if *clusters < 1 || *nodes < 1 || *iters < 1 {
 		fmt.Fprintln(os.Stderr, "satinrun: -clusters, -nodes and -iters must be >= 1")
 		os.Exit(2)
@@ -133,6 +138,10 @@ func main() {
 			trace.WriteAnnotations(os.Stdout, anns)
 		}
 		fmt.Printf("learned: %s\n", coord.Requirements())
+	}
+	if *wireObs {
+		fmt.Println("wire-layer counters:")
+		obs.Default.WriteText(os.Stdout)
 	}
 }
 

@@ -39,6 +39,9 @@ type Faults struct {
 	// link of that many bytes/second (on top of whatever the inner
 	// fabric models).
 	Bandwidth float64
+	// Corrupt is the probability a frame is delivered with one payload
+	// byte flipped — the receiver's codec must count and survive it.
+	Corrupt float64
 }
 
 func (f Faults) zero() bool { return f == Faults{} }
@@ -51,6 +54,7 @@ type Stats struct {
 	Delayed     uint64 // frames given a non-zero delay
 	Partitioned uint64 // frames eaten by a cluster partition
 	Crashed     uint64 // frames eaten by a crashed endpoint
+	Corrupted   uint64 // copies delivered with a flipped byte
 }
 
 // ClusterOf maps an endpoint name to its cluster. The default strips a
@@ -248,9 +252,18 @@ func (t *FaultTransport) lookup(cf, ct string) (Faults, linkKey, bool) {
 	return Faults{}, linkKey{}, false
 }
 
+// delivery is one planned copy of a frame: when to hand it to the
+// inner fabric, and whether to flip a payload byte first (flip < 0
+// means deliver intact).
+type delivery struct {
+	delay time.Duration
+	flip  int
+}
+
 // plan decides, under the lock, what happens to one frame: eaten
-// (deliver == nil) or delivered once/twice with per-copy delays.
-func (t *FaultTransport) plan(from, to string, size int) (deliver []time.Duration) {
+// (deliver == nil) or delivered once/twice with per-copy delays and
+// corruption.
+func (t *FaultTransport) plan(from, to string, size int) (deliver []delivery) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.stats.Sent++
@@ -268,12 +281,19 @@ func (t *FaultTransport) plan(from, to string, size int) (deliver []time.Duratio
 	}
 	f, key, ok := t.lookup(cf, ct)
 	if !ok {
-		return []time.Duration{0}
+		return []delivery{{flip: -1}}
 	}
 	rng := t.rngFor(key)
 	if f.Drop > 0 && rng.Float64() < f.Drop {
 		t.stats.Dropped++
 		return nil
+	}
+	corrupt := func() int {
+		if f.Corrupt > 0 && size > 0 && rng.Float64() < f.Corrupt {
+			t.stats.Corrupted++
+			return rng.Intn(size)
+		}
+		return -1
 	}
 	d := f.Delay
 	if f.Jitter > 0 {
@@ -289,14 +309,14 @@ func (t *FaultTransport) plan(from, to string, size int) (deliver []time.Duratio
 		t.free[key] = start.Add(ser)
 		d += start.Sub(now) + ser
 	}
-	deliver = []time.Duration{d}
+	deliver = []delivery{{delay: d, flip: corrupt()}}
 	if f.Duplicate > 0 && rng.Float64() < f.Duplicate {
 		t.stats.Duplicated++
 		dd := f.Delay
 		if f.Jitter > 0 {
 			dd += time.Duration(rng.Int63n(int64(f.Jitter)))
 		}
-		deliver = append(deliver, dd)
+		deliver = append(deliver, delivery{delay: dd, flip: corrupt()})
 	}
 	if d > 0 || len(deliver) > 1 {
 		t.stats.Delayed++
@@ -348,12 +368,18 @@ func (e *faultEP) Send(to, kind string, payload []byte) error {
 		return nil
 	}
 	var err error
-	for i, d := range plan {
-		if d <= 0 && i == 0 {
-			err = e.send(to, kind, payload)
+	for i, dl := range plan {
+		p := payload
+		if dl.flip >= 0 && dl.flip < len(p) {
+			// Corrupt a copy, never the caller's (possibly shared) slice.
+			p = append([]byte(nil), payload...)
+			p[dl.flip] ^= 0xFF
+		}
+		if dl.delay <= 0 && i == 0 {
+			err = e.send(to, kind, p)
 			continue
 		}
-		e.t.after(d, func() { _ = e.send(to, kind, payload) })
+		e.t.after(dl.delay, func() { _ = e.send(to, kind, p) })
 	}
 	return err
 }

@@ -7,6 +7,7 @@ import (
 	"repro/adapt"
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/transport"
 	"repro/satin"
@@ -78,6 +79,7 @@ func census(g *satin.Grid) map[core.ClusterID]int {
 func TestChaosLiveInvariants(t *testing.T) {
 	const seed = 7
 	period := 300 * time.Millisecond
+	baseDup := obs.Default.Total("wire/dup/")
 	g, ft := chaosGrid(t, seed, period)
 	masters, err := g.StartNodes("lc0", 1)
 	if err != nil {
@@ -131,15 +133,15 @@ func TestChaosLiveInvariants(t *testing.T) {
 
 	// Sample the unified period log until recovery shows (or time runs
 	// out — then Check reports the recovery violation with the seed).
-	var obs []Observation
+	var samples []Observation
 	deadline := time.Now().Add(20 * time.Second)
 	for time.Now().Before(deadline) {
 		hist := coord.History()
-		for len(obs) < len(hist) {
-			obs = append(obs, NewObservation(hist[len(obs)], coord.Requirements(), census(g)))
+		for len(samples) < len(hist) {
+			samples = append(samples, NewObservation(hist[len(samples)], coord.Requirements(), census(g)))
 		}
-		if n := len(obs); n > 0 {
-			r := obs[n-1].Record
+		if n := len(samples); n > 0 {
+			r := samples[n-1].Record
 			if r.Time > disturbEnd && r.Stats > 0 && r.WAE >= 0.30 {
 				break
 			}
@@ -147,10 +149,10 @@ func TestChaosLiveInvariants(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 	}
 
-	if len(obs) < 4 {
-		t.Fatalf("seed %d: only %d coordinator ticks observed", seed, len(obs))
+	if len(samples) < 4 {
+		t.Fatalf("seed %d: only %d coordinator ticks observed", seed, len(samples))
 	}
-	for _, v := range Check(obs, CheckConfig{
+	for _, v := range Check(samples, CheckConfig{
 		EMin: 0.30, EMax: 0.50,
 		DisturbEnd:      disturbEnd,
 		RequireRecovery: true,
@@ -162,6 +164,12 @@ func TestChaosLiveInvariants(t *testing.T) {
 	}
 	if st := ft.Stats(); st.Dropped == 0 && st.Delayed == 0 {
 		t.Errorf("seed %d: fault transport injected nothing (stats %+v)", seed, st)
+	}
+	// Injected duplicates must be accounted by the wire layer, not
+	// silently re-delivered or dropped.
+	if st := ft.Stats(); st.Duplicated > 0 && obs.Default.Total("wire/dup/") == baseDup {
+		t.Errorf("seed %d: %d duplicated frames invisible in obs wire/dup counters",
+			seed, st.Duplicated)
 	}
 }
 

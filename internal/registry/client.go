@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/transport"
+	"repro/internal/transport/wire"
 )
 
 // Client is one member's registry session. It keeps an up-to-date
@@ -16,7 +17,7 @@ import (
 // fault-tolerance layer depends on).
 type Client struct {
 	info NodeInfo
-	ep   transport.Endpoint
+	wc   *wire.Conn
 	opt  Options
 
 	mu      sync.Mutex
@@ -42,7 +43,7 @@ func Join(f transport.Fabric, info NodeInfo, opt Options) (*Client, error) {
 	}
 	c := &Client{
 		info:    info,
-		ep:      ep,
+		wc:      wire.New(ep),
 		opt:     opt,
 		members: make(map[core.NodeID]NodeInfo),
 		joined:  make(chan struct{}),
@@ -50,14 +51,15 @@ func Join(f transport.Fabric, info NodeInfo, opt Options) (*Client, error) {
 		events:  make(chan Event, 16),
 	}
 	c.cond = sync.NewCond(&c.mu)
-	ep.SetHandler(c.handle)
+	wire.Handle(c.wc, c.onJoinAck)
+	wire.Handle(c.wc, c.onEvent)
 	// The join is retried until acknowledged: on hub-routed fabrics the
 	// first frames can race the endpoints' registration, and joining is
 	// idempotent on the server.
-	join := transport.MustEncode(joinMsg{Info: info})
+	join := joinMsg{Info: info}
 	deadline := time.After(5 * time.Second)
-	if err := ep.Send(ServerName, "join", join); err != nil {
-		ep.Close()
+	if err := wire.Send(c.wc, ServerName, join); err != nil {
+		c.wc.Close()
 		return nil, err
 	}
 joinWait:
@@ -66,9 +68,9 @@ joinWait:
 		case <-c.joined:
 			break joinWait
 		case <-time.After(100 * time.Millisecond):
-			ep.Send(ServerName, "join", join)
+			wire.Send(c.wc, ServerName, join)
 		case <-deadline:
-			ep.Close()
+			c.wc.Close()
 			return nil, fmt.Errorf("registry: join of %s timed out", info.ID)
 		}
 	}
@@ -97,13 +99,12 @@ func (c *Client) Members() []NodeInfo {
 
 // Signal routes a signal to another member through the server.
 func (c *Client) Signal(to core.NodeID, signal string) error {
-	return c.ep.Send(ServerName, "signal-req",
-		transport.MustEncode(signalReq{To: to, Signal: signal}))
+	return wire.Send(c.wc, ServerName, signalReq{To: to, Signal: signal})
 }
 
 // Leave departs gracefully and shuts the session down.
 func (c *Client) Leave() error {
-	err := c.ep.Send(ServerName, "leave", transport.MustEncode(leaveMsg{ID: c.info.ID}))
+	err := wire.Send(c.wc, ServerName, leaveMsg{ID: c.info.ID})
 	c.Close()
 	return err
 }
@@ -122,38 +123,29 @@ func (c *Client) Close() {
 	c.mu.Unlock()
 	close(c.stop)
 	c.wg.Wait()
-	c.ep.Close()
+	c.wc.Close()
 }
 
-func (c *Client) handle(msg transport.Message) {
-	switch msg.Kind {
-	case "join-ack":
-		var ack joinAck
-		if transport.Decode(msg.Payload, &ack) != nil {
-			return
-		}
-		c.mu.Lock()
-		for _, m := range ack.Members {
-			c.members[m.ID] = m
-		}
-		c.mu.Unlock()
-		c.once.Do(func() { close(c.joined) })
-	case "event":
-		var em eventMsg
-		if transport.Decode(msg.Payload, &em) != nil {
-			return
-		}
-		c.mu.Lock()
-		switch em.Event.Kind {
-		case Joined:
-			c.members[em.Event.Node.ID] = em.Event.Node
-		case Left, Died:
-			delete(c.members, em.Event.Node.ID)
-		}
-		c.queue = append(c.queue, em.Event)
-		c.cond.Broadcast()
-		c.mu.Unlock()
+func (c *Client) onJoinAck(ack joinAck, _ wire.Meta) {
+	c.mu.Lock()
+	for _, m := range ack.Members {
+		c.members[m.ID] = m
 	}
+	c.mu.Unlock()
+	c.once.Do(func() { close(c.joined) })
+}
+
+func (c *Client) onEvent(em eventMsg, _ wire.Meta) {
+	c.mu.Lock()
+	switch em.Event.Kind {
+	case Joined:
+		c.members[em.Event.Node.ID] = em.Event.Node
+	case Left, Died:
+		delete(c.members, em.Event.Node.ID)
+	}
+	c.queue = append(c.queue, em.Event)
+	c.cond.Broadcast()
+	c.mu.Unlock()
 }
 
 // pump moves events from the unbounded queue to the consumer channel.
@@ -184,13 +176,13 @@ func (c *Client) heartbeatLoop() {
 	defer c.wg.Done()
 	ticker := time.NewTicker(c.opt.HeartbeatInterval)
 	defer ticker.Stop()
-	payload := transport.MustEncode(heartbeatMsg{ID: c.info.ID})
+	hb := heartbeatMsg{ID: c.info.ID}
 	for {
 		select {
 		case <-c.stop:
 			return
 		case <-ticker.C:
-			c.ep.Send(ServerName, "hb", payload)
+			wire.Send(c.wc, ServerName, hb)
 		}
 	}
 }

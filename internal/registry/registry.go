@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/transport"
+	"repro/internal/transport/wire"
 )
 
 // ServerName is the registry's well-known endpoint name.
@@ -94,11 +95,20 @@ type signalReq struct {
 	Signal string
 }
 
+func init() {
+	wire.Register[joinMsg]("join")
+	wire.Register[joinAck]("join-ack")
+	wire.Register[leaveMsg]("leave")
+	wire.Register[heartbeatMsg]("hb")
+	wire.Register[eventMsg]("event")
+	wire.Register[signalReq]("signal-req")
+}
+
 func clientEP(id core.NodeID) string { return "reg:" + string(id) }
 
 // Server is the central registry process.
 type Server struct {
-	ep  transport.Endpoint
+	wc  *wire.Conn
 	opt Options
 
 	mu      sync.Mutex
@@ -122,12 +132,15 @@ func NewServer(f transport.Fabric, opt Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		ep:      ep,
+		wc:      wire.New(ep),
 		opt:     opt,
 		members: make(map[core.NodeID]*member),
 		stop:    make(chan struct{}),
 	}
-	ep.SetHandler(s.handle)
+	wire.Handle(s.wc, s.onJoin)
+	wire.Handle(s.wc, s.onLeave)
+	wire.Handle(s.wc, s.onHeartbeat)
+	wire.Handle(s.wc, s.onSignalReq)
 	s.wg.Add(1)
 	go s.failureDetector()
 	return s, nil
@@ -144,7 +157,7 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	close(s.stop)
 	s.wg.Wait()
-	s.ep.Close()
+	s.wc.Close()
 }
 
 // Members returns the current membership, sorted by ID.
@@ -168,53 +181,40 @@ func (s *Server) Signal(id core.NodeID, signal string) error {
 		return fmt.Errorf("registry: signal %q to unknown member %s", signal, id)
 	}
 	ev := Event{Kind: SignalEvent, Node: m.info, Signal: signal}
-	return s.ep.Send(clientEP(id), "event", transport.MustEncode(eventMsg{Event: ev}))
+	return wire.Send(s.wc, clientEP(id), eventMsg{Event: ev})
 }
 
-func (s *Server) handle(msg transport.Message) {
-	switch msg.Kind {
-	case "join":
-		var jm joinMsg
-		if transport.Decode(msg.Payload, &jm) != nil {
-			return
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			return
-		}
-		_, rejoin := s.members[jm.Info.ID]
-		s.members[jm.Info.ID] = &member{info: jm.Info, lastSeen: time.Now()}
-		ack := joinAck{Members: s.membersLocked()}
-		others := s.otherEPsLocked(jm.Info.ID)
+func (s *Server) onJoin(jm joinMsg, _ wire.Meta) {
+	s.mu.Lock()
+	if s.closed {
 		s.mu.Unlock()
-		s.ep.Send(clientEP(jm.Info.ID), "join-ack", transport.MustEncode(ack))
-		if !rejoin { // retried joins must not duplicate the broadcast
-			s.broadcast(others, Event{Kind: Joined, Node: jm.Info})
-		}
-	case "leave":
-		var lm leaveMsg
-		if transport.Decode(msg.Payload, &lm) != nil {
-			return
-		}
-		s.drop(lm.ID, Left)
-	case "hb":
-		var hb heartbeatMsg
-		if transport.Decode(msg.Payload, &hb) != nil {
-			return
-		}
-		s.mu.Lock()
-		if m, ok := s.members[hb.ID]; ok {
-			m.lastSeen = time.Now()
-		}
-		s.mu.Unlock()
-	case "signal-req":
-		var sr signalReq
-		if transport.Decode(msg.Payload, &sr) != nil {
-			return
-		}
-		s.Signal(sr.To, sr.Signal)
+		return
 	}
+	_, rejoin := s.members[jm.Info.ID]
+	s.members[jm.Info.ID] = &member{info: jm.Info, lastSeen: time.Now()}
+	ack := joinAck{Members: s.membersLocked()}
+	others := s.otherEPsLocked(jm.Info.ID)
+	s.mu.Unlock()
+	wire.Send(s.wc, clientEP(jm.Info.ID), ack)
+	if !rejoin { // retried joins must not duplicate the broadcast
+		s.broadcast(others, Event{Kind: Joined, Node: jm.Info})
+	}
+}
+
+func (s *Server) onLeave(lm leaveMsg, _ wire.Meta) {
+	s.drop(lm.ID, Left)
+}
+
+func (s *Server) onHeartbeat(hb heartbeatMsg, _ wire.Meta) {
+	s.mu.Lock()
+	if m, ok := s.members[hb.ID]; ok {
+		m.lastSeen = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) onSignalReq(sr signalReq, _ wire.Meta) {
+	s.Signal(sr.To, sr.Signal)
 }
 
 func (s *Server) membersLocked() []NodeInfo {
@@ -238,9 +238,10 @@ func (s *Server) otherEPsLocked(except core.NodeID) []string {
 }
 
 func (s *Server) broadcast(eps []string, ev Event) {
-	payload := transport.MustEncode(eventMsg{Event: ev})
+	// Each destination has its own session stream, so the event is
+	// encoded per recipient (the descriptors already crossed each link).
 	for _, ep := range eps {
-		s.ep.Send(ep, "event", payload)
+		wire.Send(s.wc, ep, eventMsg{Event: ev})
 	}
 }
 

@@ -115,6 +115,8 @@ func (f *InProc) Close() {
 		eps = append(eps, ep)
 	}
 	f.endpoints = map[string]*inprocEP{}
+	f.free = map[[2]string]time.Time{}
+	f.order = map[[2]string]chan struct{}{}
 	f.mu.Unlock()
 	for _, ep := range eps {
 		ep.mu.Lock()
@@ -209,8 +211,23 @@ func (e *inprocEP) Close() error {
 	e.mu.Lock()
 	e.closed = true
 	e.mu.Unlock()
-	e.fabric.mu.Lock()
-	delete(e.fabric.endpoints, e.name)
-	e.fabric.mu.Unlock()
+	f := e.fabric
+	f.mu.Lock()
+	delete(f.endpoints, e.name)
+	// Drop the per-pair serialisation and ordering state of every link
+	// touching this endpoint: long-lived fabrics with churning
+	// endpoints (the emulated grid provisions and evicts nodes all
+	// run) must not accumulate dead-pair entries without bound.
+	for key := range f.free {
+		if key[0] == e.name || key[1] == e.name {
+			delete(f.free, key)
+		}
+	}
+	for key := range f.order {
+		if key[0] == e.name || key[1] == e.name {
+			delete(f.order, key)
+		}
+	}
+	f.mu.Unlock()
 	return nil
 }

@@ -216,3 +216,63 @@ func TestTCPSendAfterCloseFails(t *testing.T) {
 		t.Fatal("send after close succeeded")
 	}
 }
+
+// Per-pair serialisation (free) and ordering (order) state must be
+// released when endpoints close: a long-lived fabric with churning
+// endpoints (provisioned and evicted grid nodes) must not grow without
+// bound.
+func TestInProcPairStateReleasedOnClose(t *testing.T) {
+	link := func(from, to string) LinkParams {
+		return LinkParams{Bandwidth: 1e9} // populate f.free on every send
+	}
+	f := NewInProc(link)
+	defer f.Close()
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	got := make(chan Message, 4)
+	a.SetHandler(func(m Message) { got <- m })
+	b.SetHandler(func(m Message) { got <- m })
+	if err := a.Send("b", "k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send("a", "k", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-got:
+		case <-time.After(5 * time.Second):
+			t.Fatal("delivery timed out")
+		}
+	}
+	f.mu.Lock()
+	frees, orders := len(f.free), len(f.order)
+	f.mu.Unlock()
+	if frees == 0 || orders == 0 {
+		t.Fatalf("test did not populate pair state (free=%d order=%d)", frees, orders)
+	}
+	a.Close()
+	b.Close()
+	f.mu.Lock()
+	frees, orders = len(f.free), len(f.order)
+	f.mu.Unlock()
+	if frees != 0 || orders != 0 {
+		t.Fatalf("pair state leaked after endpoint close: free=%d order=%d", frees, orders)
+	}
+}
+
+// Closing the fabric itself must also drop the accumulated pair state.
+func TestInProcPairStateReleasedOnFabricClose(t *testing.T) {
+	f := NewInProc(func(string, string) LinkParams { return LinkParams{Bandwidth: 1e9} })
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	b.SetHandler(func(Message) {})
+	a.Send("b", "k", []byte("x"))
+	f.Close()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.free) != 0 || len(f.order) != 0 {
+		t.Fatalf("pair state leaked after fabric close: free=%d order=%d",
+			len(f.free), len(f.order))
+	}
+}

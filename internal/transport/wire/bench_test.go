@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// benchJob mirrors the shape of satin's steal-reply payload — the
+// steal hot path the session codec exists for.
+type benchJob struct {
+	ID    uint64
+	Owner string
+	Args  [4]int
+}
+
+type benchReply struct {
+	Seq    uint64
+	HasJob bool
+	Job    benchJob
+}
+
+func init() { Register[benchReply]("bench-reply") }
+
+var benchValue = benchReply{
+	Seq:    42,
+	HasJob: true,
+	Job:    benchJob{ID: 7, Owner: "fs0/03", Args: [4]int{1, 2, 3, 4}},
+}
+
+// BenchmarkWireEncode compares the old per-message codec (fresh gob
+// encoder, descriptors resent every message) against the session codec
+// (persistent stream, descriptors once). Numbers in EXPERIMENTS.md.
+func BenchmarkWireEncode(b *testing.B) {
+	b.Run("per-message-gob", func(b *testing.B) {
+		b.ReportAllocs()
+		var total int
+		for i := 0; i < b.N; i++ {
+			p, err := transport.Encode(benchValue)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += len(p)
+		}
+		reportFrameBytes(b, total)
+	})
+	b.Run("session", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf byteBuffer
+		enc := gob.NewEncoder(&buf)
+		var total int
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := enc.Encode(benchValue); err != nil {
+				b.Fatal(err)
+			}
+			p := make([]byte, headerLen+len(buf.Bytes()))
+			copy(p[headerLen:], buf.Bytes())
+			total += len(p)
+		}
+		reportFrameBytes(b, total)
+	})
+}
+
+func reportFrameBytes(b *testing.B, total int) {
+	if b.N > 0 {
+		b.ReportMetric(float64(total)/float64(b.N), "frame-bytes/op")
+	}
+}
+
+// BenchmarkWireRoundTrip measures whole frames through an ideal
+// in-process fabric: encode, send, deliver, decode, dispatch.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	b.Run("per-message-gob", func(b *testing.B) {
+		f := transport.NewInProc(nil)
+		defer f.Close()
+		epA, _ := f.Endpoint("a")
+		epB, _ := f.Endpoint("b")
+		done := make(chan struct{}, 1)
+		epB.SetHandler(func(m transport.Message) {
+			var v benchReply
+			if err := transport.Decode(m.Payload, &v); err != nil {
+				b.Error(err)
+			}
+			done <- struct{}{}
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p, err := transport.Encode(benchValue)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := epA.Send("b", "bench-reply", p); err != nil {
+				b.Fatal(err)
+			}
+			<-done
+		}
+	})
+	b.Run("session", func(b *testing.B) {
+		f := transport.NewInProc(nil)
+		defer f.Close()
+		epA, _ := f.Endpoint("a")
+		epB, _ := f.Endpoint("b")
+		ca, cb := New(epA), New(epB)
+		done := make(chan struct{}, 1)
+		Handle(cb, func(v benchReply, _ Meta) { done <- struct{}{} })
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := Send(ca, "b", benchValue); err != nil {
+				b.Fatal(err)
+			}
+			<-done
+		}
+	})
+}

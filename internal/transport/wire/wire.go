@@ -1,0 +1,633 @@
+// Package wire is the typed, instrumented messaging layer on top of
+// transport: the part of the Ibis stand-in that every protocol in the
+// repository (satin's steal/result traffic, the registry, the
+// adaptation report path) speaks instead of hand-rolling `switch
+// msg.Kind` dispatch and a fresh gob codec per message.
+//
+// Three ideas:
+//
+//   - a frame registry: Register[T]("kind") once per message type, then
+//     Send(conn, to, v) and Handle(conn, func(T, Meta)) are type-safe —
+//     the kind string never appears at call sites again;
+//   - session codecs: each directed endpoint pair shares one streaming
+//     gob encoder/decoder, so type descriptors cross the link once per
+//     session instead of once per message, and the per-message cost is
+//     one small buffer reset instead of a fresh encoder + allocation.
+//     Sessions carry an (epoch, seq) header; duplicated frames are
+//     discarded by sequence number, reordered frames are buffered back
+//     into order, and an unfillable gap (loss, partition, a rejoined
+//     endpoint) triggers an epoch reset handshake that restarts the
+//     stream instead of silently corrupting it;
+//   - observability: every frame, byte, duplicate, stale frame and
+//     decode error is counted in internal/obs, per message kind and per
+//     directed cluster pair. A malformed frame is a counted, once-logged
+//     protocol error — never a silent drop.
+//
+// Layering: obs depends on nothing; wire feeds obs; chaos and the
+// binaries read obs. wire depends only on transport and obs.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"log"
+	"reflect"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// ---- frame registry ----
+
+var (
+	regMu      sync.RWMutex
+	kindByType = make(map[reflect.Type]string)
+	typeByKind = make(map[string]reflect.Type)
+)
+
+// Register associates a message type with its frame kind. Call once
+// per type, at package init. Re-registering the identical pair is a
+// no-op (several packages may share a kind, e.g. "report"); conflicts
+// panic immediately — they are wiring bugs.
+func Register[T any](kind string) {
+	t := reflect.TypeOf((*T)(nil)).Elem()
+	if kind == "" || strings.HasPrefix(kind, "\x00") {
+		panic(fmt.Sprintf("wire: invalid kind %q for %v", kind, t))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if prev, ok := typeByKind[kind]; ok {
+		if prev == t {
+			return
+		}
+		panic(fmt.Sprintf("wire: kind %q registered for both %v and %v", kind, prev, t))
+	}
+	if prev, ok := kindByType[t]; ok {
+		panic(fmt.Sprintf("wire: type %v registered for both kinds %q and %q", t, prev, kind))
+	}
+	typeByKind[kind] = t
+	kindByType[t] = kind
+}
+
+func kindOf(t reflect.Type) (string, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	k, ok := kindByType[t]
+	return k, ok
+}
+
+// ---- frame format ----
+
+// Each frame payload is a 12-byte header (epoch uint32, seq uint64,
+// big endian) followed by the session stream's delta bytes for exactly
+// one encoded value. ctrlReset frames carry the 4-byte epoch the
+// receiver wants abandoned.
+const headerLen = 12
+
+// ctrlReset is the reserved control kind of the epoch-reset handshake.
+const ctrlReset = "\x00wire-reset"
+
+// gapTimeout bounds how long a receive session waits for a reordered
+// frame to fill a sequence gap before declaring the stream broken and
+// requesting a fresh epoch. It must stay well below registry failure
+// timeouts, or a lost frame could stall heartbeats long enough to look
+// like a death. Variable for tests.
+var gapTimeout = 100 * time.Millisecond
+
+// maxPending bounds the receive-side reorder buffer per session.
+const maxPending = 256
+
+// Meta describes a delivered frame to its handler.
+type Meta struct {
+	// From is the sending endpoint's name.
+	From string
+	// Bytes is the frame's payload size on the wire (header included).
+	Bytes int
+}
+
+// clusterLabel maps an endpoint name to its cluster for the per-pair
+// counters, following the runtime's naming convention
+// ("satin:fs0/03" → "fs0"); infrastructure endpoints map to "-".
+func clusterLabel(ep string) string {
+	if i := strings.IndexByte(ep, ':'); i >= 0 {
+		ep = ep[i+1:]
+	}
+	if i := strings.IndexByte(ep, '/'); i >= 0 {
+		return ep[:i]
+	}
+	return "-"
+}
+
+func pairLabel(from, to string) string {
+	return clusterLabel(from) + ">" + clusterLabel(to)
+}
+
+// kindCounters caches the per-kind obs counters a session touches on
+// its hot path, so steady-state counting is a map read plus an atomic.
+type kindCounters struct {
+	frames, bytes *obs.Counter
+}
+
+func newKindCounters(dir, kind string) *kindCounters {
+	return &kindCounters{
+		frames: obs.Default.Counter("wire/frames_" + dir + "/" + kind),
+		bytes:  obs.Default.Counter("wire/bytes_" + dir + "/" + kind),
+	}
+}
+
+// logOnce ensures each (problem, kind) pair is logged a single time per
+// process; after that the obs counters carry the signal.
+var logOnce sync.Map
+
+func logKindOnce(problem, kind string, err error) {
+	key := problem + "/" + kind
+	if _, loaded := logOnce.LoadOrStore(key, struct{}{}); !loaded {
+		if err != nil {
+			log.Printf("wire: %s on kind %q: %v (counted in obs, logged once)", problem, kind, err)
+		} else {
+			log.Printf("wire: %s on kind %q (counted in obs, logged once)", problem, kind)
+		}
+	}
+}
+
+// ---- connection ----
+
+// Conn wraps one transport endpoint with typed dispatch and session
+// codecs. Create with New, register handlers with Handle, send with
+// Send. Handlers run on the fabric's delivery goroutines, in per-pair
+// order, and may call Send.
+type Conn struct {
+	ep transport.Endpoint
+
+	mu       sync.RWMutex
+	handlers map[string]handlerFunc
+	sends    map[string]*sendSession
+	recvs    map[string]*recvSession
+	closed   bool
+}
+
+type handlerFunc func(dec *gob.Decoder, m Meta) error
+
+// New wraps ep, installing its delivery handler. The caller must not
+// call ep.SetHandler afterwards.
+func New(ep transport.Endpoint) *Conn {
+	c := &Conn{
+		ep:       ep,
+		handlers: make(map[string]handlerFunc),
+		sends:    make(map[string]*sendSession),
+		recvs:    make(map[string]*recvSession),
+	}
+	ep.SetHandler(c.handle)
+	return c
+}
+
+// Name returns the underlying endpoint's name.
+func (c *Conn) Name() string { return c.ep.Name() }
+
+// Close detaches the endpoint and stops the sessions' timers.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	recvs := make([]*recvSession, 0, len(c.recvs))
+	for _, rs := range c.recvs {
+		recvs = append(recvs, rs)
+	}
+	c.mu.Unlock()
+	for _, rs := range recvs {
+		rs.mu.Lock()
+		if rs.gapTimer != nil {
+			rs.gapTimer.Stop()
+			rs.gapTimer = nil
+		}
+		rs.mu.Unlock()
+	}
+	return c.ep.Close()
+}
+
+// Handle registers the typed handler for T's kind. One handler per
+// kind per Conn; T must have been Registered.
+func Handle[T any](c *Conn, h func(T, Meta)) {
+	t := reflect.TypeOf((*T)(nil)).Elem()
+	kind, ok := kindOf(t)
+	if !ok {
+		panic(fmt.Sprintf("wire: Handle of unregistered type %v", t))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.handlers[kind]; dup {
+		panic(fmt.Sprintf("wire: duplicate handler for kind %q on %s", kind, c.ep.Name()))
+	}
+	c.handlers[kind] = func(dec *gob.Decoder, m Meta) error {
+		var v T
+		if err := dec.Decode(&v); err != nil {
+			return err
+		}
+		h(v, m)
+		return nil
+	}
+}
+
+// Send encodes v on the session to the destination endpoint and sends
+// it as one frame. An encoding failure (an unregistered concrete type
+// inside an interface field) restarts the session stream and returns
+// the error; the caller can then send a fallback message safely.
+func Send[T any](c *Conn, to string, v T) error {
+	t := reflect.TypeOf((*T)(nil)).Elem()
+	kind, ok := kindOf(t)
+	if !ok {
+		return fmt.Errorf("wire: send of unregistered type %v", t)
+	}
+	ss := c.sendSession(to)
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.buf.Reset()
+	if err := ss.enc.Encode(v); err != nil {
+		// The encoder may have half-written descriptors it now believes
+		// the receiver has: the stream is unusable. Restart it under a
+		// fresh epoch (the receiver starts a fresh decoder on seeing it).
+		ss.restartLocked()
+		obs.Default.Counter("wire/encode_err/" + kind).Inc()
+		logKindOnce("encode error", kind, err)
+		return fmt.Errorf("wire: encode %q: %w", kind, err)
+	}
+	delta := ss.buf.Bytes()
+	p := make([]byte, headerLen+len(delta))
+	binary.BigEndian.PutUint32(p[0:4], ss.epoch)
+	binary.BigEndian.PutUint64(p[4:12], ss.seq)
+	copy(p[headerLen:], delta)
+	ss.seq++
+	kc := ss.kindC[kind]
+	if kc == nil {
+		kc = newKindCounters("out", kind)
+		ss.kindC[kind] = kc
+	}
+	kc.frames.Inc()
+	kc.bytes.Add(uint64(len(p)))
+	ss.pairFrames.Inc()
+	ss.pairBytes.Add(uint64(len(p)))
+	// Send under the session lock: the fabric's per-pair FIFO must see
+	// frames in sequence order.
+	return c.ep.Send(to, kind, p)
+}
+
+// ---- send sessions ----
+
+type sendSession struct {
+	mu    sync.Mutex
+	epoch uint32
+	seq   uint64
+	buf   byteBuffer
+	enc   *gob.Encoder
+
+	kindC                 map[string]*kindCounters
+	pairFrames, pairBytes *obs.Counter
+}
+
+func (c *Conn) sendSession(to string) *sendSession {
+	c.mu.RLock()
+	ss, ok := c.sends[to]
+	c.mu.RUnlock()
+	if ok {
+		return ss
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ss, ok := c.sends[to]; ok {
+		return ss
+	}
+	pair := pairLabel(c.ep.Name(), to)
+	ss = &sendSession{
+		kindC:      make(map[string]*kindCounters),
+		pairFrames: obs.Default.Counter("wire/pair_frames_out/" + pair),
+		pairBytes:  obs.Default.Counter("wire/pair_bytes_out/" + pair),
+	}
+	ss.enc = gob.NewEncoder(&ss.buf)
+	c.sends[to] = ss
+	return ss
+}
+
+// restartLocked begins a fresh stream under the next epoch.
+func (ss *sendSession) restartLocked() {
+	ss.epoch++
+	ss.seq = 0
+	ss.buf.Reset()
+	ss.enc = gob.NewEncoder(&ss.buf)
+}
+
+// ---- receive sessions ----
+
+type pframe struct {
+	kind string
+	data []byte
+	size int
+}
+
+type recvSession struct {
+	mu       sync.Mutex
+	epoch    uint32
+	next     uint64
+	started  bool // decoded at least one frame of this epoch
+	poisoned bool // stream broken; waiting for a fresh epoch
+	lastReq  time.Time
+	dec      *gob.Decoder
+	feed     byteFeed
+	pending  map[uint64]pframe
+	gapTimer *time.Timer
+
+	kindC                 map[string]*kindCounters
+	pairFrames, pairBytes *obs.Counter
+}
+
+func (c *Conn) recvSession(from string) *recvSession {
+	c.mu.RLock()
+	rs, ok := c.recvs[from]
+	c.mu.RUnlock()
+	if ok {
+		return rs
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rs, ok := c.recvs[from]; ok {
+		return rs
+	}
+	pair := pairLabel(from, c.ep.Name())
+	rs = &recvSession{
+		pending:    make(map[uint64]pframe),
+		kindC:      make(map[string]*kindCounters),
+		pairFrames: obs.Default.Counter("wire/pair_frames_in/" + pair),
+		pairBytes:  obs.Default.Counter("wire/pair_bytes_in/" + pair),
+	}
+	rs.dec = gob.NewDecoder(&rs.feed)
+	c.recvs[from] = rs
+	return rs
+}
+
+func (c *Conn) handler(kind string) (handlerFunc, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	h, ok := c.handlers[kind]
+	return h, ok
+}
+
+func (c *Conn) isClosed() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.closed
+}
+
+// handle is the transport delivery callback: session bookkeeping, then
+// typed dispatch of in-order frames.
+func (c *Conn) handle(msg transport.Message) {
+	if c.isClosed() {
+		return
+	}
+	if msg.Kind == ctrlReset {
+		c.handleReset(msg)
+		return
+	}
+	if len(msg.Payload) < headerLen {
+		obs.Default.Counter("wire/decode_err/" + msg.Kind).Inc()
+		logKindOnce("truncated frame", msg.Kind, nil)
+		return
+	}
+	epoch := binary.BigEndian.Uint32(msg.Payload[0:4])
+	seq := binary.BigEndian.Uint64(msg.Payload[4:12])
+	data := msg.Payload[headerLen:]
+
+	rs := c.recvSession(msg.From)
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.pairFrames.Inc()
+	rs.pairBytes.Add(uint64(len(msg.Payload)))
+	kc := rs.kindC[msg.Kind]
+	if kc == nil {
+		kc = newKindCounters("in", msg.Kind)
+		rs.kindC[msg.Kind] = kc
+	}
+	kc.frames.Inc()
+	kc.bytes.Add(uint64(len(msg.Payload)))
+
+	switch {
+	case epoch < rs.epoch:
+		// A frame of an abandoned stream arriving late (reorder across
+		// a reset): its bytes are undecodable without the old stream.
+		obs.Default.Counter("wire/stale/" + msg.Kind).Inc()
+		return
+	case epoch > rs.epoch:
+		// The sender restarted the stream: adopt the new epoch, drop
+		// whatever the old one still had buffered.
+		c.adoptEpochLocked(rs, epoch)
+	}
+	if rs.poisoned {
+		obs.Default.Counter("wire/stale/" + msg.Kind).Inc()
+		// The reset request may itself have been lost (partition):
+		// re-ask while broken frames keep arriving.
+		c.maybeRequestResetLocked(rs, msg.From)
+		return
+	}
+	switch {
+	case seq < rs.next:
+		// Already processed: a transport-level duplicate.
+		obs.Default.Counter("wire/dup/" + msg.Kind).Inc()
+		return
+	case seq > rs.next:
+		if _, dup := rs.pending[seq]; dup {
+			obs.Default.Counter("wire/dup/" + msg.Kind).Inc()
+			return
+		}
+		if len(rs.pending) >= maxPending {
+			c.poisonLocked(rs, msg.From, "reorder buffer overflow")
+			return
+		}
+		rs.pending[seq] = pframe{kind: msg.Kind, data: data, size: len(msg.Payload)}
+		c.armGapTimerLocked(rs, msg.From)
+		return
+	}
+	// In sequence: decode, then drain whatever the gap was holding back.
+	c.deliverLocked(rs, msg.From, msg.Kind, data, len(msg.Payload))
+	for !rs.poisoned {
+		pf, ok := rs.pending[rs.next]
+		if !ok {
+			break
+		}
+		delete(rs.pending, rs.next)
+		c.deliverLocked(rs, msg.From, pf.kind, pf.data, pf.size)
+	}
+	if len(rs.pending) == 0 && rs.gapTimer != nil {
+		rs.gapTimer.Stop()
+		rs.gapTimer = nil
+	}
+}
+
+// deliverLocked feeds one in-sequence frame to the stream decoder and
+// dispatches the value. Any failure poisons the session: a gob stream
+// cannot be resynchronised mid-flight, only restarted.
+func (c *Conn) deliverLocked(rs *recvSession, from, kind string, data []byte, size int) {
+	h, ok := c.handler(kind)
+	if !ok {
+		obs.Default.Counter("wire/unknown_kind/" + kind).Inc()
+		logKindOnce("no handler", kind, nil)
+		c.poisonLocked(rs, from, "unknown kind")
+		return
+	}
+	rs.feed.set(data)
+	err := h(rs.dec, Meta{From: from, Bytes: size})
+	if err == nil && rs.feed.len() > 0 {
+		err = fmt.Errorf("%d trailing bytes after value", rs.feed.len())
+	}
+	if err != nil {
+		obs.Default.Counter("wire/decode_err/" + kind).Inc()
+		logKindOnce("decode error", kind, err)
+		c.poisonLocked(rs, from, "decode error")
+		return
+	}
+	rs.next++
+	rs.started = true
+}
+
+// poisonLocked marks the stream broken, discards the reorder buffer
+// (those frames depend on bytes that will never decode) and asks the
+// sender for a fresh epoch.
+func (c *Conn) poisonLocked(rs *recvSession, from, why string) {
+	if !rs.poisoned {
+		obs.Default.Counter("wire/desync/" + pairLabel(from, c.ep.Name())).Inc()
+		logKindOnce("session desync ("+why+") from "+from, "session", nil)
+	}
+	rs.poisoned = true
+	for seq, pf := range rs.pending {
+		obs.Default.Counter("wire/stale/" + pf.kind).Inc()
+		delete(rs.pending, seq)
+	}
+	if rs.gapTimer != nil {
+		rs.gapTimer.Stop()
+		rs.gapTimer = nil
+	}
+	rs.lastReq = time.Time{} // force an immediate request
+	c.maybeRequestResetLocked(rs, from)
+}
+
+// adoptEpochLocked switches the session to a fresh stream.
+func (c *Conn) adoptEpochLocked(rs *recvSession, epoch uint32) {
+	for seq, pf := range rs.pending {
+		obs.Default.Counter("wire/stale/" + pf.kind).Inc()
+		delete(rs.pending, seq)
+	}
+	if rs.gapTimer != nil {
+		rs.gapTimer.Stop()
+		rs.gapTimer = nil
+	}
+	rs.epoch = epoch
+	rs.next = 0
+	rs.started = false
+	rs.poisoned = false
+	rs.dec = gob.NewDecoder(&rs.feed)
+	rs.feed.set(nil)
+}
+
+// maybeRequestResetLocked sends the epoch-reset control frame, rate
+// limited so a flood of stale frames does not become a flood of
+// control traffic.
+func (c *Conn) maybeRequestResetLocked(rs *recvSession, from string) {
+	now := time.Now()
+	if !rs.lastReq.IsZero() && now.Sub(rs.lastReq) < gapTimeout {
+		return
+	}
+	rs.lastReq = now
+	p := make([]byte, 4)
+	binary.BigEndian.PutUint32(p, rs.epoch)
+	obs.Default.Counter("wire/reset_req/" + pairLabel(from, c.ep.Name())).Inc()
+	_ = c.ep.Send(from, ctrlReset, p) // sender may be gone; that is fine
+}
+
+// armGapTimerLocked starts the bounded wait for a reordered frame to
+// fill the sequence gap; if the gap is still open when it fires, the
+// frame was lost and the stream must restart.
+func (c *Conn) armGapTimerLocked(rs *recvSession, from string) {
+	if rs.gapTimer != nil {
+		return
+	}
+	epoch, next := rs.epoch, rs.next
+	rs.gapTimer = time.AfterFunc(gapTimeout, func() {
+		if c.isClosed() {
+			return
+		}
+		rs.mu.Lock()
+		defer rs.mu.Unlock()
+		rs.gapTimer = nil
+		if rs.epoch == epoch && rs.next == next && len(rs.pending) > 0 && !rs.poisoned {
+			c.poisonLocked(rs, from, "sequence gap")
+		}
+	})
+}
+
+// handleReset restarts the send session the peer declared broken.
+func (c *Conn) handleReset(msg transport.Message) {
+	if len(msg.Payload) != 4 {
+		return
+	}
+	abandoned := binary.BigEndian.Uint32(msg.Payload)
+	c.mu.RLock()
+	ss, ok := c.sends[msg.From]
+	c.mu.RUnlock()
+	if !ok {
+		return // never sent to them; nothing to reset
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.epoch > abandoned {
+		return // already restarted past the abandoned epoch
+	}
+	ss.epoch = abandoned
+	ss.restartLocked()
+	obs.Default.Counter("wire/reset/" + pairLabel(c.ep.Name(), msg.From)).Inc()
+}
+
+// ---- small io plumbing ----
+
+// byteBuffer is a minimal append-only buffer for the send stream (a
+// bytes.Buffer would work; this keeps Reset/Bytes allocation-free and
+// under our eyes).
+type byteBuffer struct {
+	b []byte
+}
+
+func (w *byteBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+func (w *byteBuffer) Reset()        { w.b = w.b[:0] }
+func (w *byteBuffer) Bytes() []byte { return w.b }
+
+// byteFeed hands the stream decoder exactly one frame's bytes. It
+// implements io.ByteReader so gob does not wrap it in a bufio.Reader
+// (which would read ahead across frame boundaries).
+type byteFeed struct {
+	b []byte
+}
+
+func (f *byteFeed) set(b []byte) { f.b = b }
+func (f *byteFeed) len() int     { return len(f.b) }
+
+func (f *byteFeed) Read(p []byte) (int, error) {
+	if len(f.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, f.b)
+	f.b = f.b[n:]
+	return n, nil
+}
+
+func (f *byteFeed) ReadByte() (byte, error) {
+	if len(f.b) == 0 {
+		return 0, io.EOF
+	}
+	c := f.b[0]
+	f.b = f.b[1:]
+	return c, nil
+}

@@ -1,0 +1,478 @@
+package wire
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// test message types, registered once for the whole package test run.
+type pingMsg struct {
+	N    int
+	Note string
+}
+
+type pongMsg struct {
+	N int
+}
+
+func init() {
+	Register[pingMsg]("test-ping")
+	Register[pongMsg]("test-pong")
+}
+
+// interceptFabric lets a test rewrite, duplicate, reorder or corrupt
+// frames between wire endpoints.
+type interceptFabric struct {
+	inner     transport.Fabric
+	intercept func(send func(to, kind string, payload []byte) error, to, kind string, payload []byte) error
+}
+
+func (f *interceptFabric) Endpoint(name string) (transport.Endpoint, error) {
+	ep, err := f.inner.Endpoint(name)
+	if err != nil {
+		return nil, err
+	}
+	return &interceptEP{f: f, inner: ep}, nil
+}
+
+type interceptEP struct {
+	f     *interceptFabric
+	inner transport.Endpoint
+}
+
+func (e *interceptEP) Name() string                   { return e.inner.Name() }
+func (e *interceptEP) SetHandler(h transport.Handler) { e.inner.SetHandler(h) }
+func (e *interceptEP) Close() error                   { return e.inner.Close() }
+func (e *interceptEP) Send(to, kind string, payload []byte) error {
+	if e.f.intercept != nil {
+		return e.f.intercept(e.inner.Send, to, kind, payload)
+	}
+	return e.inner.Send(to, kind, payload)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestTypedRoundTrip(t *testing.T) {
+	f := transport.NewInProc(nil)
+	defer f.Close()
+	epA, _ := f.Endpoint("a")
+	epB, _ := f.Endpoint("b")
+	a, b := New(epA), New(epB)
+
+	var mu sync.Mutex
+	var got []pingMsg
+	var from string
+	Handle(b, func(m pingMsg, meta Meta) {
+		mu.Lock()
+		got = append(got, m)
+		from = meta.From
+		mu.Unlock()
+	})
+	for i := 0; i < 10; i++ {
+		if err := Send(a, "b", pingMsg{N: i, Note: "hello"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "10 messages", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 10
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i, m := range got {
+		if m.N != i || m.Note != "hello" {
+			t.Fatalf("message %d = %+v (order or content wrong)", i, m)
+		}
+	}
+	if from != "a" {
+		t.Fatalf("meta.From = %q, want a", from)
+	}
+}
+
+// The session codec's whole point: after the first frame carried the
+// type descriptors, later frames are only the value bytes.
+func TestSessionFramesShrinkAfterFirst(t *testing.T) {
+	var sizes []int
+	var mu sync.Mutex
+	inner := transport.NewInProc(nil)
+	defer inner.Close()
+	f := &interceptFabric{inner: inner}
+	f.intercept = func(send func(string, string, []byte) error, to, kind string, p []byte) error {
+		if kind == "test-ping" {
+			mu.Lock()
+			sizes = append(sizes, len(p))
+			mu.Unlock()
+		}
+		return send(to, kind, p)
+	}
+	epA, _ := f.Endpoint("a")
+	epB, _ := f.Endpoint("b")
+	a, b := New(epA), New(epB)
+	done := make(chan struct{}, 16)
+	Handle(b, func(m pingMsg, _ Meta) { done <- struct{}{} })
+	for i := 0; i < 3; i++ {
+		if err := Send(a, "b", pingMsg{N: i, Note: "x"}); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sizes) != 3 {
+		t.Fatalf("saw %d frames, want 3", len(sizes))
+	}
+	if sizes[1] >= sizes[0] || sizes[2] >= sizes[0] {
+		t.Fatalf("later frames not smaller than the descriptor-carrying first: %v", sizes)
+	}
+}
+
+// A corrupted frame must be a counted, visible protocol error — and
+// the stream must recover via the epoch reset handshake.
+func TestCorruptFrameCountedAndRecovered(t *testing.T) {
+	old := gapTimeout
+	gapTimeout = 10 * time.Millisecond
+	defer func() { gapTimeout = old }()
+
+	var mu sync.Mutex
+	corruptNext := false
+	inner := transport.NewInProc(nil)
+	defer inner.Close()
+	f := &interceptFabric{inner: inner}
+	f.intercept = func(send func(string, string, []byte) error, to, kind string, p []byte) error {
+		mu.Lock()
+		doIt := corruptNext && kind == "test-ping"
+		corruptNext = corruptNext && !doIt
+		mu.Unlock()
+		if doIt {
+			q := append([]byte(nil), p...)
+			q[len(q)-1] ^= 0xFF // flip a byte in the gob body
+			return send(to, kind, q)
+		}
+		return send(to, kind, p)
+	}
+	epA, _ := f.Endpoint("a")
+	epB, _ := f.Endpoint("b")
+	a, b := New(epA), New(epB)
+	var recv []int
+	Handle(b, func(m pingMsg, _ Meta) {
+		mu.Lock()
+		recv = append(recv, m.N)
+		mu.Unlock()
+	})
+
+	errBefore := obs.Default.Total("wire/decode_err/")
+	if err := Send(a, "b", pingMsg{N: 0}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first message", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(recv) == 1
+	})
+	mu.Lock()
+	corruptNext = true
+	mu.Unlock()
+	if err := Send(a, "b", pingMsg{N: 1}); err != nil {
+		t.Fatal(err) // corrupted in flight, not at encode time
+	}
+	waitFor(t, "decode error counted", func() bool {
+		return obs.Default.Total("wire/decode_err/") > errBefore
+	})
+	// The session is now poisoned; further sends trigger the reset
+	// handshake and must get through on the fresh epoch.
+	waitFor(t, "recovery after corruption", func() bool {
+		Send(a, "b", pingMsg{N: 2})
+		mu.Lock()
+		defer mu.Unlock()
+		return len(recv) >= 2 && recv[len(recv)-1] == 2
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for _, n := range recv {
+		if n == 1 {
+			t.Fatal("corrupted frame was delivered")
+		}
+	}
+}
+
+// Transport-level duplicates are discarded by sequence number and
+// accounted for.
+func TestDuplicateFrameDiscardedAndCounted(t *testing.T) {
+	var mu sync.Mutex
+	dupAll := false
+	inner := transport.NewInProc(nil)
+	defer inner.Close()
+	f := &interceptFabric{inner: inner}
+	f.intercept = func(send func(string, string, []byte) error, to, kind string, p []byte) error {
+		mu.Lock()
+		d := dupAll && kind == "test-ping"
+		mu.Unlock()
+		err := send(to, kind, p)
+		if d {
+			send(to, kind, p)
+		}
+		return err
+	}
+	epA, _ := f.Endpoint("a")
+	epB, _ := f.Endpoint("b")
+	a, b := New(epA), New(epB)
+	var recv []int
+	Handle(b, func(m pingMsg, _ Meta) {
+		mu.Lock()
+		recv = append(recv, m.N)
+		mu.Unlock()
+	})
+	dupBefore := obs.Default.Total("wire/dup/")
+	mu.Lock()
+	dupAll = true
+	mu.Unlock()
+	for i := 0; i < 5; i++ {
+		if err := Send(a, "b", pingMsg{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "5 deliveries and dup accounting", func() bool {
+		mu.Lock()
+		n := len(recv)
+		mu.Unlock()
+		return n == 5 && obs.Default.Total("wire/dup/") >= dupBefore+5
+	})
+	time.Sleep(20 * time.Millisecond) // a late duplicate must not slip in
+	mu.Lock()
+	defer mu.Unlock()
+	if len(recv) != 5 {
+		t.Fatalf("duplicates delivered: got %v", recv)
+	}
+	for i, n := range recv {
+		if n != i {
+			t.Fatalf("order broken: %v", recv)
+		}
+	}
+}
+
+// Reordered frames are buffered back into sequence: the handler sees
+// them in send order.
+func TestReorderedFramesDeliveredInOrder(t *testing.T) {
+	var mu sync.Mutex
+	var held []func()
+	holdOne := false
+	inner := transport.NewInProc(nil)
+	defer inner.Close()
+	f := &interceptFabric{inner: inner}
+	f.intercept = func(send func(string, string, []byte) error, to, kind string, p []byte) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if holdOne && kind == "test-ping" {
+			holdOne = false
+			held = append(held, func() { send(to, kind, p) })
+			return nil
+		}
+		return send(to, kind, p)
+	}
+	epA, _ := f.Endpoint("a")
+	epB, _ := f.Endpoint("b")
+	a, b := New(epA), New(epB)
+	var recv []int
+	Handle(b, func(m pingMsg, _ Meta) {
+		mu.Lock()
+		recv = append(recv, m.N)
+		mu.Unlock()
+	})
+	Send(a, "b", pingMsg{N: 0})
+	waitFor(t, "first", func() bool { mu.Lock(); defer mu.Unlock(); return len(recv) == 1 })
+	mu.Lock()
+	holdOne = true
+	mu.Unlock()
+	Send(a, "b", pingMsg{N: 1}) // held back
+	Send(a, "b", pingMsg{N: 2}) // arrives first → buffered by receiver
+	time.Sleep(10 * time.Millisecond)
+	mu.Lock()
+	if len(recv) != 1 {
+		mu.Unlock()
+		t.Fatalf("out-of-order frame delivered early: %v", recv)
+	}
+	release := held[0]
+	held = nil
+	mu.Unlock()
+	release() // gap fills; both deliver in order
+	waitFor(t, "in-order drain", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(recv) == 3
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i, n := range recv {
+		if n != i {
+			t.Fatalf("delivery order broken: %v", recv)
+		}
+	}
+}
+
+// A frame genuinely lost mid-stream (not just reordered) must not
+// stall the link forever: the gap timer declares desync and the epoch
+// reset restores the flow.
+func TestLostFrameRecoversViaReset(t *testing.T) {
+	old := gapTimeout
+	gapTimeout = 10 * time.Millisecond
+	defer func() { gapTimeout = old }()
+
+	var mu sync.Mutex
+	dropNext := false
+	inner := transport.NewInProc(nil)
+	defer inner.Close()
+	f := &interceptFabric{inner: inner}
+	f.intercept = func(send func(string, string, []byte) error, to, kind string, p []byte) error {
+		mu.Lock()
+		d := dropNext && kind == "test-ping"
+		if d {
+			dropNext = false
+		}
+		mu.Unlock()
+		if d {
+			return nil
+		}
+		return send(to, kind, p)
+	}
+	epA, _ := f.Endpoint("a")
+	epB, _ := f.Endpoint("b")
+	a, b := New(epA), New(epB)
+	var recv []int
+	Handle(b, func(m pingMsg, _ Meta) {
+		mu.Lock()
+		recv = append(recv, m.N)
+		mu.Unlock()
+	})
+	Send(a, "b", pingMsg{N: 0})
+	waitFor(t, "first", func() bool { mu.Lock(); defer mu.Unlock(); return len(recv) == 1 })
+	mu.Lock()
+	dropNext = true
+	mu.Unlock()
+	Send(a, "b", pingMsg{N: 1}) // eaten
+	Send(a, "b", pingMsg{N: 2}) // opens a gap that never fills
+	waitFor(t, "recovery after loss", func() bool {
+		Send(a, "b", pingMsg{N: 3})
+		mu.Lock()
+		defer mu.Unlock()
+		return len(recv) >= 2 && recv[len(recv)-1] == 3
+	})
+}
+
+// A receiver that restarts mid-stream (a rejoined endpoint) resyncs
+// through the same reset handshake instead of dropping traffic forever.
+func TestFreshReceiverResyncs(t *testing.T) {
+	old := gapTimeout
+	gapTimeout = 10 * time.Millisecond
+	defer func() { gapTimeout = old }()
+
+	inner := transport.NewInProc(nil)
+	defer inner.Close()
+	epA, _ := inner.Endpoint("a")
+	a := New(epA)
+
+	epB1, _ := inner.Endpoint("b")
+	b1 := New(epB1)
+	got1 := make(chan pingMsg, 16)
+	Handle(b1, func(m pingMsg, _ Meta) { got1 <- m })
+	Send(a, "b", pingMsg{N: 0})
+	Send(a, "b", pingMsg{N: 1})
+	for i := 0; i < 2; i++ {
+		select {
+		case <-got1:
+		case <-time.After(5 * time.Second):
+			t.Fatal("first endpoint never got its messages")
+		}
+	}
+	b1.Close() // endpoint restarts under the same name
+	epB2, _ := inner.Endpoint("b")
+	b2 := New(epB2)
+	var mu sync.Mutex
+	var recv []int
+	Handle(b2, func(m pingMsg, _ Meta) {
+		mu.Lock()
+		recv = append(recv, m.N)
+		mu.Unlock()
+	})
+	// The sender's session is deep into its stream; the fresh receiver
+	// cannot decode mid-stream and must force a new epoch.
+	waitFor(t, "resync with restarted receiver", func() bool {
+		Send(a, "b", pingMsg{N: 9})
+		mu.Lock()
+		defer mu.Unlock()
+		return len(recv) > 0 && recv[len(recv)-1] == 9
+	})
+}
+
+func TestSendUnregisteredTypeFails(t *testing.T) {
+	f := transport.NewInProc(nil)
+	defer f.Close()
+	ep, _ := f.Endpoint("solo")
+	c := New(ep)
+	type neverRegistered struct{ X int }
+	if err := Send(c, "solo", neverRegistered{1}); err == nil {
+		t.Fatal("sending an unregistered type must fail")
+	}
+}
+
+func TestRegisterConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting Register must panic")
+		}
+	}()
+	Register[pongMsg]("test-ping") // "test-ping" belongs to pingMsg
+}
+
+// Encode failures mid-session (unregistered concrete type in an
+// interface field) must not corrupt the stream: the session restarts
+// and later messages flow.
+type carrierMsg struct {
+	V any
+}
+
+func init() { Register[carrierMsg]("test-carrier") }
+
+type unregisteredPayload struct{ X int }
+
+func TestEncodeErrorRestartsSession(t *testing.T) {
+	f := transport.NewInProc(nil)
+	defer f.Close()
+	epA, _ := f.Endpoint("a")
+	epB, _ := f.Endpoint("b")
+	a, b := New(epA), New(epB)
+	got := make(chan carrierMsg, 16)
+	Handle(b, func(m carrierMsg, _ Meta) { got <- m })
+
+	if err := Send(a, "b", carrierMsg{V: 7}); err != nil {
+		t.Fatal(err)
+	}
+	<-got
+	if err := Send(a, "b", carrierMsg{V: unregisteredPayload{1}}); err == nil {
+		t.Fatal("encoding an unregistered concrete type must fail")
+	}
+	if err := Send(a, "b", carrierMsg{V: 8}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.V.(int) != 8 {
+			t.Fatalf("got %+v after encode error, want V=8", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message after encode error never arrived: stream corrupted")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/registry"
 	"repro/internal/transport"
+	"repro/internal/transport/wire"
 )
 
 // NodeConfig configures one runtime node.
@@ -86,8 +87,8 @@ type pendingJob struct {
 // Node is one processor of the runtime.
 type Node struct {
 	cfg NodeConfig
-	reg *registry.Client
-	ep  transport.Endpoint
+	reg *registry.Client // written once under mu before the worker starts
+	wc  *wire.Conn
 	rng *rand.Rand // guarded by mu
 
 	mu           sync.Mutex
@@ -133,15 +134,9 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	reg, err := registry.Join(cfg.Fabric, registry.NodeInfo{ID: cfg.ID, Cluster: cfg.Cluster}, cfg.Registry)
-	if err != nil {
-		ep.Close()
-		return nil, err
-	}
 	n := &Node{
 		cfg:          cfg,
-		reg:          reg,
-		ep:           ep,
+		wc:           wire.New(ep),
 		rng:          rand.New(rand.NewSource(cfg.Seed ^ hashID(cfg.ID))),
 		pending:      make(map[uint64]*pendingJob),
 		departed:     make(map[NodeID]bool),
@@ -155,7 +150,22 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Bench != nil {
 		n.benchPending = true
 	}
-	ep.SetHandler(n.handle)
+	// Handlers go live before the registry join: a peer that learns of
+	// this node through the join broadcast may steal from it before
+	// Join even returns here.
+	wire.Handle(n.wc, n.onSteal)
+	wire.Handle(n.wc, n.onStealReply)
+	wire.Handle(n.wc, n.onResult)
+	wire.Handle(n.wc, n.onHolding)
+	wire.Handle(n.wc, n.onReturnJob)
+	reg, err := registry.Join(cfg.Fabric, registry.NodeInfo{ID: cfg.ID, Cluster: cfg.Cluster}, cfg.Registry)
+	if err != nil {
+		n.wc.Close()
+		return nil, err
+	}
+	n.mu.Lock()
+	n.reg = reg
+	n.mu.Unlock()
 	n.wg.Add(2)
 	go n.eventLoop()
 	go n.worker()
@@ -240,7 +250,7 @@ func (n *Node) Kill() {
 	close(n.stopCh)
 	n.wakeUp()
 	n.reg.Close()
-	n.ep.Close()
+	n.wc.Close()
 	n.wg.Wait()
 	if n.onStop != nil {
 		n.onStop(n)
@@ -365,13 +375,13 @@ func (n *Node) executeJob(j jobMsg) {
 		n.completeLocal(j.ID, val, err)
 		return
 	}
-	payload, encErr := transport.Encode(resultMsg{ID: j.ID, Value: val, Err: errString(err)})
-	if encErr != nil {
-		// Unregistered result type: deliver the error instead so the
-		// owner's sync does not hang.
-		payload = transport.MustEncode(resultMsg{ID: j.ID, Err: encErr.Error()})
+	res := resultMsg{ID: j.ID, Value: val, Err: errString(err)}
+	if sendErr := wire.Send(n.wc, satinEP(j.Owner), res); sendErr != nil {
+		// Unregistered result type (the encode failure restarted the
+		// session): deliver the error instead so the owner's sync does
+		// not hang.
+		wire.Send(n.wc, satinEP(j.Owner), resultMsg{ID: j.ID, Err: sendErr.Error()})
 	}
-	n.ep.Send(satinEP(j.Owner), "result", payload)
 }
 
 // safeExecute converts panics in task code into errors; a crashing task
@@ -491,8 +501,7 @@ func (n *Node) stealFrom(victim NodeID, timeout time.Duration) bool {
 		delete(n.stealWaiters, seq)
 		n.mu.Unlock()
 	}()
-	msg := transport.MustEncode(stealMsg{Thief: n.cfg.ID, Cluster: n.cfg.Cluster, Seq: seq})
-	if err := n.ep.Send(satinEP(victim), "steal", msg); err != nil {
+	if err := wire.Send(n.wc, satinEP(victim), stealMsg{Thief: n.cfg.ID, Cluster: n.cfg.Cluster, Seq: seq}); err != nil {
 		return false
 	}
 	select {
@@ -516,8 +525,7 @@ func (n *Node) noteHolding(j jobMsg) {
 		n.mu.Unlock()
 		return
 	}
-	n.ep.Send(satinEP(j.Owner), "holding",
-		transport.MustEncode(holdingMsg{ID: j.ID, Holder: n.cfg.ID}))
+	wire.Send(n.wc, satinEP(j.Owner), holdingMsg{ID: j.ID, Holder: n.cfg.ID})
 }
 
 func (n *Node) waitForWork(d time.Duration) {
@@ -615,14 +623,13 @@ func (n *Node) tryFinishLeave() bool {
 	n.stopped = true
 	n.mu.Unlock()
 	for _, j := range foreign {
-		payload, err := transport.Encode(returnJobMsg{Job: j})
-		if err == nil {
-			n.ep.Send(satinEP(j.Owner), "return-job", payload)
-		}
+		// A failed send (unencodable task, owner gone) loses the copy;
+		// the owner recomputes when the failure detector reports us.
+		wire.Send(n.wc, satinEP(j.Owner), returnJobMsg{Job: j})
 	}
 	close(n.stopCh)
 	n.reg.Leave()
-	n.ep.Close()
+	n.wc.Close()
 	// The worker (our caller) returns after this; notify once every
 	// companion goroutine has drained.
 	go func() {
@@ -693,158 +700,145 @@ func (n *Node) reclaimFrom(dead NodeID) {
 
 // ---- message handling ----
 
-func (n *Node) handle(msg transport.Message) {
-	switch msg.Kind {
-	case "steal":
-		var sm stealMsg
-		if transport.Decode(msg.Payload, &sm) != nil {
-			return
-		}
-		n.mu.Lock()
-		var reply stealReplyMsg
-		reply.Seq = sm.Seq
-		if !n.stopped && !n.leaving && !n.departed[sm.Thief] && len(n.deque) > 0 {
-			j := n.deque[0] // oldest = biggest subtree
-			n.deque = n.deque[1:]
-			reply.HasJob = true
-			reply.Job = j
-			if j.Owner == n.cfg.ID {
-				if pj, ok := n.pending[j.ID]; ok {
-					pj.holder = sm.Thief
-				}
+func (n *Node) onSteal(sm stealMsg, _ wire.Meta) {
+	n.mu.Lock()
+	var reply stealReplyMsg
+	reply.Seq = sm.Seq
+	if !n.stopped && !n.leaving && !n.departed[sm.Thief] && len(n.deque) > 0 {
+		j := n.deque[0] // oldest = biggest subtree
+		n.deque = n.deque[1:]
+		reply.HasJob = true
+		reply.Job = j
+		if j.Owner == n.cfg.ID {
+			if pj, ok := n.pending[j.ID]; ok {
+				pj.holder = sm.Thief
 			}
 		}
-		n.mu.Unlock()
-		if reply.HasJob && reply.Job.Owner != n.cfg.ID && reply.Job.Owner != sm.Thief {
-			// Tell the third-party owner immediately where its job went:
-			// if the thief dies before its own notification, the owner
-			// must still know whom to watch for recomputation.
-			n.ep.Send(satinEP(reply.Job.Owner), "holding",
-				transport.MustEncode(holdingMsg{ID: reply.Job.ID, Holder: sm.Thief}))
-		}
-		payload, err := transport.Encode(reply)
-		if err != nil {
-			// Task type not registered for gob: hand the job back to
-			// ourselves and fail the steal.
-			if reply.HasJob {
-				n.mu.Lock()
-				n.deque = append([]jobMsg{reply.Job}, n.deque...)
-				if reply.Job.Owner == n.cfg.ID {
-					if pj, ok := n.pending[reply.Job.ID]; ok {
-						pj.holder = n.cfg.ID
-					}
-				}
-				n.mu.Unlock()
-			}
-			payload = transport.MustEncode(stealReplyMsg{Seq: sm.Seq})
-		}
-		n.ep.Send(satinEP(sm.Thief), "steal-reply", payload)
-	case "steal-reply":
-		var sr stealReplyMsg
-		if transport.Decode(msg.Payload, &sr) != nil {
-			return
-		}
-		n.countInterBytes(msg)
-		returnIt := false
-		if sr.HasJob {
-			// Adopt the job here, whatever happened to the waiter: a
-			// reply that lost a race with the steal timeout must not
-			// lose the job (its owner already recorded us as holder).
+	}
+	n.mu.Unlock()
+	if reply.HasJob && reply.Job.Owner != n.cfg.ID && reply.Job.Owner != sm.Thief {
+		// Tell the third-party owner immediately where its job went:
+		// if the thief dies before its own notification, the owner
+		// must still know whom to watch for recomputation.
+		wire.Send(n.wc, satinEP(reply.Job.Owner), holdingMsg{ID: reply.Job.ID, Holder: sm.Thief})
+	}
+	if err := wire.Send(n.wc, satinEP(sm.Thief), reply); err != nil {
+		// Task type not registered for gob (or the thief is gone): hand
+		// the job back to ourselves and fail the steal.
+		if reply.HasJob {
 			n.mu.Lock()
-			if n.stopped {
-				returnIt = true
-			} else {
-				n.deque = append(n.deque, sr.Job)
+			n.deque = append([]jobMsg{reply.Job}, n.deque...)
+			if reply.Job.Owner == n.cfg.ID {
+				if pj, ok := n.pending[reply.Job.ID]; ok {
+					pj.holder = n.cfg.ID
+				}
 			}
 			n.mu.Unlock()
-			if !returnIt {
-				n.noteHolding(sr.Job)
-				n.wakeUp()
-			}
 		}
-		if returnIt {
-			if payload, err := transport.Encode(returnJobMsg{Job: sr.Job}); err == nil {
-				n.ep.Send(satinEP(sr.Job.Owner), "return-job", payload)
-			}
-		}
+		wire.Send(n.wc, satinEP(sm.Thief), stealReplyMsg{Seq: sm.Seq})
+	}
+}
+
+func (n *Node) onStealReply(sr stealReplyMsg, m wire.Meta) {
+	n.countInterBytes(m)
+	returnIt := false
+	if sr.HasJob {
+		// Adopt the job here, whatever happened to the waiter: a
+		// reply that lost a race with the steal timeout must not
+		// lose the job (its owner already recorded us as holder).
 		n.mu.Lock()
-		ch := n.stealWaiters[sr.Seq]
-		n.mu.Unlock()
-		if ch != nil {
-			select {
-			case ch <- sr.HasJob:
-			default:
-			}
-		}
-	case "result":
-		var rm resultMsg
-		if transport.Decode(msg.Payload, &rm) != nil {
-			return
-		}
-		n.countInterBytes(msg)
-		n.completeLocal(rm.ID, rm.Value, stringErr(rm.Err))
-	case "holding":
-		var hm holdingMsg
-		if transport.Decode(msg.Payload, &hm) != nil {
-			return
-		}
-		n.mu.Lock()
-		reclaim := false
-		if pj, ok := n.pending[hm.ID]; ok {
-			if n.departed[hm.Holder] {
-				// The notification lost the race with the holder's
-				// death event: recompute here and now, or the job
-				// would point at a dead node forever.
-				pj.holder = n.cfg.ID
-				n.deque = append(n.deque, jobMsg{ID: hm.ID, Owner: n.cfg.ID, Task: pj.task})
-				reclaim = true
-			} else {
-				pj.holder = hm.Holder
-			}
+		if n.stopped {
+			returnIt = true
+		} else {
+			n.deque = append(n.deque, sr.Job)
 		}
 		n.mu.Unlock()
-		if reclaim {
+		if !returnIt {
+			n.noteHolding(sr.Job)
 			n.wakeUp()
 		}
-	case "return-job":
-		var rj returnJobMsg
-		if transport.Decode(msg.Payload, &rj) != nil {
-			return
+	}
+	if returnIt {
+		wire.Send(n.wc, satinEP(sr.Job.Owner), returnJobMsg{Job: sr.Job})
+	}
+	n.mu.Lock()
+	ch := n.stealWaiters[sr.Seq]
+	n.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- sr.HasJob:
+		default:
 		}
-		n.mu.Lock()
-		if rj.Job.Owner == n.cfg.ID {
-			if pj, ok := n.pending[rj.Job.ID]; ok {
-				pj.holder = n.cfg.ID
-				n.deque = append(n.deque, rj.Job)
-			}
+	}
+}
+
+func (n *Node) onResult(rm resultMsg, m wire.Meta) {
+	n.countInterBytes(m)
+	n.completeLocal(rm.ID, rm.Value, stringErr(rm.Err))
+}
+
+func (n *Node) onHolding(hm holdingMsg, _ wire.Meta) {
+	n.mu.Lock()
+	reclaim := false
+	if pj, ok := n.pending[hm.ID]; ok {
+		if n.departed[hm.Holder] {
+			// The notification lost the race with the holder's
+			// death event: recompute here and now, or the job
+			// would point at a dead node forever.
+			pj.holder = n.cfg.ID
+			n.deque = append(n.deque, jobMsg{ID: hm.ID, Owner: n.cfg.ID, Task: pj.task})
+			reclaim = true
 		} else {
-			n.deque = append(n.deque, rj.Job)
+			pj.holder = hm.Holder
 		}
-		n.mu.Unlock()
+	}
+	n.mu.Unlock()
+	if reclaim {
 		n.wakeUp()
 	}
 }
 
-// countInterBytes books a received frame's payload as inter-cluster
+func (n *Node) onReturnJob(rj returnJobMsg, _ wire.Meta) {
+	n.mu.Lock()
+	if rj.Job.Owner == n.cfg.ID {
+		if pj, ok := n.pending[rj.Job.ID]; ok {
+			pj.holder = n.cfg.ID
+			n.deque = append(n.deque, rj.Job)
+		}
+	} else {
+		n.deque = append(n.deque, rj.Job)
+	}
+	n.mu.Unlock()
+	n.wakeUp()
+}
+
+// countInterBytes books a received frame's wire bytes as inter-cluster
 // traffic when the sender sits in another cluster — the byte counts
 // behind the coordinator's achieved-bandwidth estimate, which feeds the
 // learned minimum-bandwidth requirement.
-func (n *Node) countInterBytes(msg transport.Message) {
-	if len(msg.Payload) == 0 {
+func (n *Node) countInterBytes(m wire.Meta) {
+	if m.Bytes == 0 {
 		return
 	}
 	from := NodeID("")
-	if len(msg.From) > len("satin:") {
-		from = NodeID(msg.From[len("satin:"):])
+	if len(m.From) > len("satin:") {
+		from = NodeID(m.From[len("satin:"):])
 	}
 	if from == "" || from == n.cfg.ID {
 		return
 	}
-	for _, m := range n.reg.Members() {
-		if m.ID == from {
-			if m.Cluster != "" && m.Cluster != n.cfg.Cluster {
+	n.mu.Lock()
+	reg := n.reg
+	n.mu.Unlock()
+	if reg == nil {
+		// A frame raced our own registry join; membership is unknown yet.
+		return
+	}
+	for _, mem := range reg.Members() {
+		if mem.ID == from {
+			if mem.Cluster != "" && mem.Cluster != n.cfg.Cluster {
 				n.mu.Lock()
-				n.acc.AddInterBytes(float64(len(msg.Payload)))
+				n.acc.AddInterBytes(float64(m.Bytes))
 				n.mu.Unlock()
 			}
 			return
@@ -862,12 +856,7 @@ func (n *Node) reportLoop() {
 		case <-n.stopCh:
 			return
 		case <-ticker.C:
-			rep := n.Report()
-			payload, err := transport.Encode(rep)
-			if err != nil {
-				continue
-			}
-			n.ep.Send(n.cfg.Coordinator, "report", payload)
+			wire.Send(n.wc, n.cfg.Coordinator, n.Report())
 		}
 	}
 }

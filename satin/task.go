@@ -32,6 +32,8 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/transport/wire"
 )
 
 // NodeID identifies a runtime node; ClusterID its site.
@@ -87,6 +89,17 @@ type holdingMsg struct {
 
 type returnJobMsg struct {
 	Job jobMsg
+}
+
+func init() {
+	wire.Register[stealMsg]("steal")
+	wire.Register[stealReplyMsg]("steal-reply")
+	wire.Register[resultMsg]("result")
+	wire.Register[holdingMsg]("holding")
+	wire.Register[returnJobMsg]("return-job")
+	// The statistics report shares its kind with the adapt package's
+	// coordinator side; Register is idempotent for identical pairs.
+	wire.Register[metrics.Report]("report")
 }
 
 func errString(err error) string {
