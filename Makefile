@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify gridsim chaos
+.PHONY: build test vet race verify gridsim chaos bench
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,12 @@ verify: build vet race
 # Run the paper's evaluation scenarios (Figure 1 table + period logs).
 gridsim:
 	$(GO) run ./cmd/gridsim -scenario all
+
+# Deque/steal/runtime microbenchmarks (one iteration each: a smoke run
+# that proves every benchmark still compiles and executes; for timing
+# numbers use -benchtime/-count as in EXPERIMENTS.md).
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x -count=1 ./internal/deque ./internal/steal ./satin
 
 # Chaos harness: the full seeded scenario corpus (24 randomized
 # DES scenarios), the fault-transport unit tests, and the live-runtime

@@ -1,0 +1,173 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// job mimics satin's jobMsg shape so the numbers transfer.
+type job struct {
+	ID    uint64
+	Owner string
+	Task  any
+}
+
+// mutexDeque is the baseline this package replaces: the satin node's
+// old mutex-guarded slice, reproduced here so the before/after numbers
+// in EXPERIMENTS.md stay regenerable. Note this baseline is KINDER
+// than the real old code, whose deque lock was the big node mutex
+// shared with the pending map, steal handlers and membership reclaims;
+// the end-to-end comparison lives in satin's BenchmarkSpawnSync.
+type mutexDeque struct {
+	mu    sync.Mutex
+	items []job
+}
+
+func (d *mutexDeque) push(j job) {
+	d.mu.Lock()
+	d.items = append(d.items, j)
+	d.mu.Unlock()
+}
+
+func (d *mutexDeque) popBottom() (job, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return job{}, false
+	}
+	j := d.items[len(d.items)-1]
+	d.items = d.items[:len(d.items)-1]
+	return j, true
+}
+
+func (d *mutexDeque) steal() (job, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return job{}, false
+	}
+	j := d.items[0]
+	d.items = d.items[1:]
+	return j, true
+}
+
+// BenchmarkOwnerPushPop measures the uncontended owner hot path —
+// satin's Spawn + popNewest per task. The Chase–Lev pair pays for the
+// seq-cst store/load fence in PopBottom; that is the per-op price of
+// the owner never blocking behind a steal handler.
+func BenchmarkOwnerPushPop(b *testing.B) {
+	d := New[job]()
+	for i := 0; i < b.N; i++ {
+		d.Push(job{ID: uint64(i), Owner: "n0"})
+		d.PopBottom()
+	}
+}
+
+func BenchmarkOwnerPushPopMutex(b *testing.B) {
+	var d mutexDeque
+	for i := 0; i < b.N; i++ {
+		d.push(job{ID: uint64(i), Owner: "n0"})
+		d.popBottom()
+	}
+}
+
+// BenchmarkStealProbeEmpty measures the victim-side cost of an
+// incoming steal probe that finds nothing — the common case while a
+// node is working at the bottom of its own subtree. The lock-free
+// probe is two atomic loads and never touches the owner; the mutex
+// probe acquires the very lock the owner's every push/pop needs.
+func BenchmarkStealProbeEmpty(b *testing.B) {
+	d := New[job]()
+	for i := 0; i < b.N; i++ {
+		d.Steal()
+	}
+}
+
+func BenchmarkStealProbeEmptyMutex(b *testing.B) {
+	var d mutexDeque
+	for i := 0; i < b.N; i++ {
+		d.steal()
+	}
+}
+
+// BenchmarkStealGrant measures a granted steal paired with the push
+// that fed it, serialised on one goroutine so the number is
+// deterministic on any core count.
+func BenchmarkStealGrant(b *testing.B) {
+	d := New[job]()
+	for i := 0; i < b.N; i++ {
+		d.Push(job{ID: uint64(i), Owner: "n0"})
+		d.Steal()
+	}
+}
+
+func BenchmarkStealGrantMutex(b *testing.B) {
+	var d mutexDeque
+	for i := 0; i < b.N; i++ {
+		d.push(job{ID: uint64(i), Owner: "n0"})
+		d.steal()
+	}
+}
+
+// BenchmarkStealLatency measures one thief draining a deque while the
+// owner goroutine keeps it topped up — steal latency under live
+// owner/thief contention. (On a single-CPU host the two goroutines
+// time-share, so treat multi-core scaling conclusions with care; the
+// per-op costs remain representative.)
+func BenchmarkStealLatency(b *testing.B) {
+	d := New[job]()
+	for i := 0; i < 1024; i++ {
+		d.Push(job{ID: uint64(i)})
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // owner keeps the deque non-empty
+		defer wg.Done()
+		var n uint64
+		for !stop.Load() {
+			if d.Len() < 512 {
+				n++
+				d.Push(job{ID: n})
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Steal()
+	}
+	b.StopTimer()
+	stop.Store(true)
+	wg.Wait()
+}
+
+func BenchmarkStealLatencyMutex(b *testing.B) {
+	var d mutexDeque
+	for i := 0; i < 1024; i++ {
+		d.push(job{ID: uint64(i)})
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var n uint64
+		for !stop.Load() {
+			d.mu.Lock()
+			l := len(d.items)
+			d.mu.Unlock()
+			if l < 512 {
+				n++
+				d.push(job{ID: n})
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.steal()
+	}
+	b.StopTimer()
+	stop.Store(true)
+	wg.Wait()
+}

@@ -1,0 +1,174 @@
+// Package deque implements a Chase–Lev lock-free work-stealing deque:
+// the owner pushes and pops at the bottom without taking a lock, while
+// any number of thieves take the oldest element from the top with a
+// compare-and-swap. It replaces the mutex-guarded slice in the satin
+// node so Spawn/popNewest (the path every task traverses) never
+// contends with steal handlers.
+//
+// Contract: exactly ONE goroutine — the owner — may call Push and
+// PopBottom. Steal and Len are safe from any goroutine. Elements are
+// stored as freshly allocated pointers per Push, which is what makes
+// the slot-release CAS in Steal ABA-free: a thief that won an element
+// still references its pointer while clearing the slot, so the
+// allocator cannot reuse that address for a concurrent Push.
+//
+// Consumed slots are zeroed (PopBottom stores nil, Steal CASes the
+// taken pointer to nil), so the ring keeps no task payloads reachable
+// after their jobs complete — the retention bug the old slice-backed
+// deque had.
+package deque
+
+import "sync/atomic"
+
+const initialCap = 64
+
+// ring is one power-of-two circular buffer generation.
+type ring[T any] struct {
+	mask  int64
+	slots []atomic.Pointer[T]
+}
+
+func newRing[T any](capacity int64) *ring[T] {
+	return &ring[T]{mask: capacity - 1, slots: make([]atomic.Pointer[T], capacity)}
+}
+
+func (r *ring[T]) at(i int64) *atomic.Pointer[T] { return &r.slots[i&r.mask] }
+
+// Deque is the work-stealing deque. The zero value is not usable; call
+// New.
+type Deque[T any] struct {
+	top    atomic.Int64 // steal side: thieves advance it by CAS
+	bottom atomic.Int64 // owner side: only the owner writes it
+	arr    atomic.Pointer[ring[T]]
+
+	// free recycles nodes the OWNER popped (owner-only, unsynchronised).
+	// Recycling is ABA-safe because popped and stolen pointers are
+	// disjoint sets — the CAS on top decides which side consumes an
+	// element — so a recycled pointer can never equal the pointer a
+	// winning thief is about to CAS out of a slot. Nodes are zeroed
+	// before they enter the list, so recycling keeps no payloads alive.
+	free []*T
+}
+
+// New returns an empty deque.
+func New[T any]() *Deque[T] {
+	d := &Deque[T]{}
+	d.arr.Store(newRing[T](initialCap))
+	return d
+}
+
+// Push appends v at the bottom (newest end). Owner only.
+func (d *Deque[T]) Push(v T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	a := d.arr.Load()
+	if b-t >= int64(len(a.slots)) {
+		a = d.grow(a, t, b)
+	}
+	p := d.newNode()
+	*p = v
+	a.at(b).Store(p)
+	d.bottom.Store(b + 1)
+}
+
+// newNode takes a recycled node or allocates a fresh one. Owner only.
+func (d *Deque[T]) newNode() *T {
+	if n := len(d.free); n > 0 {
+		p := d.free[n-1]
+		d.free = d.free[:n-1]
+		return p
+	}
+	return new(T)
+}
+
+// recycle zeroes a popped node (releasing its payload) and caches it
+// for the next Push. Owner only; only owner-popped nodes may enter.
+func (d *Deque[T]) recycle(p *T) {
+	var zero T
+	*p = zero
+	if len(d.free) < 64 {
+		d.free = append(d.free, p)
+	}
+}
+
+// grow publishes a doubled ring holding the live range [t, b). Thieves
+// holding the old ring stay correct: the copy preserves every live
+// index, and the CAS on top decides who consumes an element regardless
+// of which generation it was read from.
+func (d *Deque[T]) grow(a *ring[T], t, b int64) *ring[T] {
+	na := newRing[T](int64(len(a.slots)) * 2)
+	for i := t; i < b; i++ {
+		na.at(i).Store(a.at(i).Load())
+	}
+	d.arr.Store(na)
+	return na
+}
+
+// PopBottom removes and returns the newest element. Owner only.
+func (d *Deque[T]) PopBottom() (T, bool) {
+	var zero T
+	b := d.bottom.Load() - 1
+	a := d.arr.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore the canonical state.
+		d.bottom.Store(b + 1)
+		return zero, false
+	}
+	slot := a.at(b)
+	if t == b {
+		// Last element: race the thieves for it through the top CAS.
+		won := d.top.CompareAndSwap(t, t+1)
+		d.bottom.Store(b + 1)
+		if !won {
+			return zero, false
+		}
+		p := slot.Load()
+		slot.Store(nil)
+		v := *p
+		d.recycle(p)
+		return v, true
+	}
+	// More than one element: with bottom already published as b, no
+	// thief whose top load reaches b can still read a stale larger
+	// bottom, so index b is exclusively ours.
+	p := slot.Load()
+	slot.Store(nil)
+	v := *p
+	d.recycle(p)
+	return v, true
+}
+
+// Steal removes and returns the oldest element. Safe from any
+// goroutine; returns false on an empty deque or a lost race (callers
+// treat both as "no work here right now").
+func (d *Deque[T]) Steal() (T, bool) {
+	var zero T
+	t := d.top.Load() // must be loaded before bottom (Chase–Lev order)
+	b := d.bottom.Load()
+	if t >= b {
+		return zero, false
+	}
+	a := d.arr.Load()
+	p := a.at(t).Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return zero, false
+	}
+	// We own index t; p was read while [t, b) was live so it is the
+	// element. Release the slot unless a wrapped-around Push already
+	// reused it (then the CAS fails harmlessly).
+	a.at(t).CompareAndSwap(p, nil)
+	return *p, true
+}
+
+// Len reports the current element count (approximate under
+// concurrency, exact when the deque is quiescent).
+func (d *Deque[T]) Len() int {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if n := b - t; n > 0 {
+		return int(n)
+	}
+	return 0
+}

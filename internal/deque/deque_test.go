@@ -1,0 +1,164 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLIFOOwnerFIFOThief(t *testing.T) {
+	d := New[int]()
+	for i := 0; i < 10; i++ {
+		d.Push(i)
+	}
+	if n := d.Len(); n != 10 {
+		t.Fatalf("Len = %d, want 10", n)
+	}
+	if v, ok := d.PopBottom(); !ok || v != 9 {
+		t.Fatalf("PopBottom = %v,%v, want newest (9)", v, ok)
+	}
+	if v, ok := d.Steal(); !ok || v != 0 {
+		t.Fatalf("Steal = %v,%v, want oldest (0)", v, ok)
+	}
+	for want := 8; want >= 1; want-- {
+		if v, ok := d.PopBottom(); !ok || v != want {
+			t.Fatalf("PopBottom = %v,%v, want %d", v, ok, want)
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("PopBottom on empty deque succeeded")
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("Steal on empty deque succeeded")
+	}
+}
+
+func TestGrowthPreservesElements(t *testing.T) {
+	d := New[int]()
+	const n = 10 * initialCap
+	for i := 0; i < n; i++ {
+		d.Push(i)
+	}
+	for want := n - 1; want >= 0; want-- {
+		v, ok := d.PopBottom()
+		if !ok || v != want {
+			t.Fatalf("PopBottom = %v,%v, want %d", v, ok, want)
+		}
+	}
+}
+
+func TestWrapAroundReuse(t *testing.T) {
+	d := New[int]()
+	// Push/pop churn far past the ring capacity without growing.
+	for round := 0; round < 5*initialCap; round++ {
+		d.Push(round)
+		d.Push(round + 1)
+		if v, ok := d.PopBottom(); !ok || v != round+1 {
+			t.Fatalf("round %d: pop = %v,%v", round, v, ok)
+		}
+		if v, ok := d.Steal(); !ok {
+			t.Fatalf("round %d: steal failed", round)
+		} else if v > round {
+			t.Fatalf("round %d: steal returned %d (not oldest)", round, v)
+		}
+	}
+}
+
+// TestConsumedSlotsZeroed pins the payload-retention fix: after an
+// element is popped or stolen, the ring must not keep its pointer
+// reachable.
+func TestConsumedSlotsZeroed(t *testing.T) {
+	d := New[*[]byte]()
+	big := make([]byte, 1)
+	d.Push(&big)
+	d.Push(&big)
+	if _, ok := d.PopBottom(); !ok {
+		t.Fatal("pop failed")
+	}
+	if _, ok := d.Steal(); !ok {
+		t.Fatal("steal failed")
+	}
+	a := d.arr.Load()
+	for i := range a.slots {
+		if a.slots[i].Load() != nil {
+			t.Fatalf("slot %d still holds a pointer after consumption", i)
+		}
+	}
+}
+
+// TestStealStress is the satellite stress test: one owner goroutine
+// racing M thief goroutines under -race; every pushed ID must be
+// consumed exactly once — no job lost, none double-executed.
+func TestStealStress(t *testing.T) {
+	const (
+		n       = 200000
+		thieves = 4
+	)
+	d := New[int]()
+	var seen [n]int32
+	var consumed atomic.Int64
+
+	take := func(v int) {
+		if c := atomic.AddInt32(&seen[v], 1); c != 1 {
+			t.Errorf("element %d consumed %d times", v, c)
+		}
+		consumed.Add(1)
+	}
+
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				if v, ok := d.Steal(); ok {
+					take(v)
+				}
+			}
+			// Final drain so nothing the owner left behind is lost.
+			for {
+				v, ok := d.Steal()
+				if !ok {
+					return
+				}
+				take(v)
+			}
+		}()
+	}
+
+	// Owner: bursts of pushes interleaved with pops, like a
+	// divide-and-conquer worker splitting tasks and executing leaves.
+	for i := 0; i < n; {
+		burst := 1 + i%7
+		for j := 0; j < burst && i < n; j++ {
+			d.Push(i)
+			i++
+		}
+		if i%3 == 0 {
+			if v, ok := d.PopBottom(); ok {
+				take(v)
+			}
+		}
+	}
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		take(v)
+	}
+	done.Store(true)
+	wg.Wait()
+
+	// The owner's final PopBottom drain can race the thieves' final
+	// Steal drain; together they must have taken everything.
+	if got := consumed.Load(); got != n {
+		t.Fatalf("consumed %d of %d elements", got, n)
+	}
+	for v := range seen {
+		if seen[v] != 1 {
+			t.Fatalf("element %d consumed %d times", v, seen[v])
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/coord"
 	"repro/internal/core"
+	"repro/internal/steal"
 	"repro/internal/topo"
 	"repro/internal/workload"
 )
@@ -157,18 +158,20 @@ type Params struct {
 	Observe func(rec PeriodRecord, reqs *core.Requirements, perCluster map[core.ClusterID]int)
 }
 
-// StealPolicy is the work-stealing victim-selection algorithm.
-type StealPolicy int
+// StealPolicy is the work-stealing victim-selection algorithm. The
+// policy itself lives in internal/steal — one kernel drives both this
+// simulator and the live satin runtime.
+type StealPolicy = steal.Policy
 
 const (
 	// StealCRS is cluster-aware random stealing: one asynchronous
 	// wide-area steal outstanding while local steals run — Satin's
 	// algorithm, the default.
-	StealCRS StealPolicy = iota
+	StealCRS = steal.CRS
 	// StealRandom picks victims uniformly from all nodes and steals
 	// synchronously, paying the WAN round trip in the idle path — the
 	// baseline CRS was invented to beat.
-	StealRandom
+	StealRandom = steal.Random
 )
 
 // Defaults fills zero fields with sensible values.

@@ -3,6 +3,7 @@ package des
 import (
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/steal"
 	"repro/internal/vtime"
 )
 
@@ -57,73 +58,33 @@ func (s *Sim) execute(n *simNode, t simTask) {
 	})
 }
 
-// tryStealing implements the configured steal policy. The default is
-// cluster-aware random work stealing (CRS): one asynchronous wide-area
-// steal stays outstanding while the node issues synchronous local
-// steals, hiding WAN latency behind LAN attempts. The StealRandom
-// ablation picks victims uniformly and pays every WAN round trip
-// synchronously.
+// tryStealing drives the shared steal-policy kernel (internal/steal):
+// a membership snapshot goes in, victim directives come out. Under
+// CRS one asynchronous wide-area steal stays outstanding while the
+// node issues synchronous local steals, hiding WAN latency behind LAN
+// attempts; the StealRandom ablation picks victims uniformly and pays
+// every WAN round trip synchronously.
 func (s *Sim) tryStealing(n *simNode) {
 	if s.done || n.gone() || !n.joined || n.busy() || s.phase != phaseCompute || len(n.deque) > 0 {
 		return
 	}
-	if s.p.StealPolicy == StealRandom {
-		if !n.localOut {
-			if v := s.anyVictim(n); v != nil {
-				n.localOut = true
-				s.sendSteal(n, v, v.cluster != n.cluster, false)
-			} else {
-				s.scheduleRetry(n)
-			}
-		}
-		return
-	}
-	if !n.wanOut {
-		if v := s.randomVictim(n, false); v != nil {
-			n.wanOut = true
-			s.sendSteal(n, v, true, true)
-		}
-	}
-	if !n.localOut {
-		if v := s.randomVictim(n, true); v != nil {
-			n.localOut = true
-			s.sendSteal(n, v, false, false)
-		} else if !n.wanOut {
-			// Nobody to steal from at all: back off and retry.
-			s.scheduleRetry(n)
-		}
-	}
-}
-
-// anyVictim picks a uniform random victim regardless of cluster.
-func (s *Sim) anyVictim(n *simNode) *simNode {
-	var cands []*simNode
+	members := make([]steal.Member, 0, len(s.order))
 	for _, v := range s.order {
 		if v != n && v.joined {
-			cands = append(cands, v)
+			members = append(members, steal.Member{ID: v.id, Cluster: v.cluster})
 		}
 	}
-	if len(cands) == 0 {
-		return nil
+	d := n.eng.Next(float64(s.k.Now()), members)
+	if d.Async != nil {
+		s.sendSteal(n, s.nodes[d.Async.ID], true, true)
 	}
-	return cands[s.k.Rand().Intn(len(cands))]
-}
-
-// randomVictim picks a random live participant, local or remote.
-func (s *Sim) randomVictim(n *simNode, local bool) *simNode {
-	var cands []*simNode
-	for _, v := range s.order {
-		if v == n || !v.joined {
-			continue
-		}
-		if local == (v.cluster == n.cluster) {
-			cands = append(cands, v)
-		}
+	if d.Sync != nil {
+		v := s.nodes[d.Sync.ID]
+		s.sendSteal(n, v, v.cluster != n.cluster, false)
+	} else if d.Async == nil && !n.eng.Outstanding() {
+		// Nobody to steal from at all: back off and retry.
+		s.scheduleRetry(n)
 	}
-	if len(cands) == 0 {
-		return nil
-	}
-	return cands[s.k.Rand().Intn(len(cands))]
 }
 
 // scheduleRetry arms an exponential-backoff re-attempt so an idle node
@@ -132,11 +93,7 @@ func (s *Sim) scheduleRetry(n *simNode) {
 	if n.retry != nil {
 		return
 	}
-	backoff := 0.002 * float64(int(1)<<min(n.failStreak, 7))
-	if backoff > 0.25 {
-		backoff = 0.25
-	}
-	n.retry = s.k.After(backoff, func() {
+	n.retry = s.k.After(n.eng.BackoffSec(), func() {
 		n.retry = nil
 		s.nodeIdle(n)
 	})
@@ -226,9 +183,9 @@ func (s *Sim) sendSteal(n, v *simNode, inter, wanSlot bool) {
 // (the rest of the attempt is implicit idle time).
 func (s *Sim) stealReply(n *simNode, t *simTask, commSec float64, peer core.ClusterID, wireSec, wireBytes float64, inter, wanSlot bool) {
 	if wanSlot {
-		n.wanOut = false
+		n.eng.AsyncDone(t != nil)
 	} else {
-		n.localOut = false
+		n.eng.SyncDone(t != nil)
 	}
 	if s.done {
 		if t != nil {
@@ -250,7 +207,6 @@ func (s *Sim) stealReply(n *simNode, t *simTask, commSec float64, peer core.Clus
 	}
 	s.addTime(n, bucket, commSec)
 	if t == nil {
-		n.failStreak++
 		if !n.busy() && len(n.deque) == 0 && s.phase == phaseCompute {
 			s.scheduleRetry(n)
 		}
@@ -265,7 +221,6 @@ func (s *Sim) stealReply(n *simNode, t *simTask, commSec float64, peer core.Clus
 			n.acc.AddLinkSample(peer, wireSec, wireBytes)
 		}
 	}
-	n.failStreak = 0
 	if s.phase != phaseCompute {
 		// Iteration ended while the job was in flight — cannot happen
 		// for live jobs (they count as outstanding), but guard anyway.

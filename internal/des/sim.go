@@ -9,6 +9,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netmodel"
 	"repro/internal/sched"
+	"repro/internal/steal"
 	"repro/internal/vtime"
 )
 
@@ -51,10 +52,10 @@ type simNode struct {
 	monTimer     *vtime.Timer
 	loadAtBench  float64 // load factor at the last benchmark run
 
-	wanOut     bool // one asynchronous wide-area steal outstanding (CRS)
-	localOut   bool // one synchronous local steal outstanding
-	retry      *vtime.Timer
-	failStreak int
+	// eng is the node's slice of the shared CRS policy kernel: victim
+	// selection, sync/async slot occupancy and back-off state.
+	eng   *steal.Engine
+	retry *vtime.Timer
 
 	stealFree  vtime.Time // victim-side steal-handler serialisation
 	lastWorkAt vtime.Time // completion time of the node's last leaf
@@ -231,6 +232,7 @@ func (s *Sim) addNode(ref sched.NodeRef, immediate bool) {
 		ref:       ref,
 		speedBase: spec.Speed,
 		load:      s.clusterLoad[ref.Cluster],
+		eng:       steal.New(s.p.StealPolicy, ref.Node, ref.Cluster, steal.SeedFor(s.p.Seed, ref.Node)),
 	}
 	start := func() {
 		if s.done || n.gone() {

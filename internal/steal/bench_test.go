@@ -1,0 +1,41 @@
+package steal
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkNextCRS measures one victim-selection round on a 36-node,
+// 3-cluster snapshot — the per-idle-loop cost the satin worker pays.
+func BenchmarkNextCRS(b *testing.B) {
+	benchNext(b, CRS)
+}
+
+func BenchmarkNextRandom(b *testing.B) {
+	benchNext(b, Random)
+}
+
+func benchNext(b *testing.B, p Policy) {
+	var ms []Member
+	for c := 0; c < 3; c++ {
+		for n := 0; n < 12; n++ {
+			ms = append(ms, Member{
+				ID:      core.NodeID(fmt.Sprintf("fs%d/%02d", c, n)),
+				Cluster: core.ClusterID(fmt.Sprintf("fs%d", c)),
+			})
+		}
+	}
+	e := New(p, "fs0/00", "fs0", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := e.Next(0, ms)
+		if d.Sync != nil {
+			e.SyncDone(false)
+		}
+		if d.Async != nil {
+			e.AsyncDone(false)
+		}
+	}
+}

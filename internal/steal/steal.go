@@ -1,0 +1,229 @@
+// Package steal is the runtime-independent cluster-aware random work
+// stealing (CRS) policy kernel. CRS is the load-balancing substrate
+// the paper's adaptation story rests on (van Nieuwpoort et al.): an
+// idle node issues synchronous steals against random victims in its
+// own cluster while keeping at most ONE asynchronous wide-area steal
+// outstanding, so WAN latency hides behind LAN attempts. The package
+// also implements the StealRandom ablation (uniform victims, every
+// WAN round trip paid synchronously — the baseline CRS was invented
+// to beat), exponential back-off for fruitless rounds, and the
+// inter-cluster wait-threshold accounting for a stalled wide-area
+// steal.
+//
+// The kernel is pure policy: a membership snapshot goes in, steal
+// directives come out. Both runtimes drive it — internal/des from its
+// virtual-time event loop, satin from its live worker — so an
+// identical membership/steal script produces the identical victim
+// sequence from the same seed on either runtime.
+package steal
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Policy selects the victim-selection algorithm.
+type Policy int
+
+const (
+	// CRS is cluster-aware random stealing: one asynchronous
+	// wide-area steal outstanding while synchronous local steals run —
+	// Satin's algorithm, the default.
+	CRS Policy = iota
+	// Random picks victims uniformly from all nodes and steals
+	// synchronously, paying every WAN round trip in the idle path.
+	Random
+)
+
+// Member is one stealable peer in a membership snapshot.
+type Member struct {
+	ID      core.NodeID
+	Cluster core.ClusterID
+}
+
+// Directive is the kernel's output for one steal round: whom to
+// contact on which slot. Nil victims mean the slot is occupied or has
+// no candidates.
+type Directive struct {
+	// Sync is the synchronous victim (CRS: always same-cluster;
+	// Random: anyone).
+	Sync *Member
+	// SyncWide reports that Sync sits in another cluster, so the
+	// caller blocks on a WAN round trip (Random policy only).
+	SyncWide bool
+	// Async is the single outstanding asynchronous wide-area victim
+	// (CRS only).
+	Async *Member
+}
+
+// Stats counts the attempts an engine issued. SyncWide is the number
+// the paper cares about: synchronous cross-cluster round trips, which
+// CRS keeps at zero by construction and Random pays in the idle path.
+type Stats struct {
+	SyncLocal int64 // synchronous same-cluster attempts
+	SyncWide  int64 // synchronous cross-cluster attempts
+	Async     int64 // asynchronous wide-area attempts (latency-hidden)
+	Hits      int64 // attempts that brought a job back
+}
+
+// SeedFor derives a node's victim-selection stream from a run seed:
+// seed ^ FNV-64a(id). Both runtimes use it, which is what makes their
+// victim sequences comparable per node.
+func SeedFor(seed int64, id core.NodeID) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return seed ^ int64(h.Sum64())
+}
+
+// Engine holds one node's steal-policy state: the seeded RNG, the
+// sync/async slot occupancy, and the failure streak driving back-off.
+// Methods are safe for concurrent use; the engine has its own narrow
+// lock precisely so victim selection never serialises against a
+// runtime's job push/pop path.
+type Engine struct {
+	policy  Policy
+	self    core.NodeID
+	cluster core.ClusterID
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	syncOut    bool
+	asyncOut   bool
+	asyncSince float64 // engine time the async steal was issued
+	failStreak int
+	stats      Stats
+}
+
+// New builds an engine for one node. seed is the node's stream (use
+// SeedFor to derive it from a run seed).
+func New(policy Policy, self core.NodeID, cluster core.ClusterID, seed int64) *Engine {
+	return &Engine{
+		policy:  policy,
+		self:    self,
+		cluster: cluster,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Next runs one steal round against a membership snapshot: it fills
+// every free slot the policy allows and marks it in flight. now is
+// the caller's clock in seconds (virtual or wall — the engine only
+// ever compares differences). Candidates are considered in snapshot
+// order, so identical snapshots yield identical victims.
+func (e *Engine) Next(now float64, members []Member) Directive {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var d Directive
+	if e.policy == Random {
+		if e.syncOut {
+			return d
+		}
+		var all []Member
+		for _, m := range members {
+			if m.ID != e.self {
+				all = append(all, m)
+			}
+		}
+		if len(all) == 0 {
+			return d
+		}
+		v := all[e.rng.Intn(len(all))]
+		e.syncOut = true
+		d.Sync = &v
+		d.SyncWide = v.Cluster != e.cluster
+		if d.SyncWide {
+			e.stats.SyncWide++
+		} else {
+			e.stats.SyncLocal++
+		}
+		return d
+	}
+	// CRS: async (wide-area) slot first, then the synchronous local
+	// slot — the draw order both runtimes historically used, kept so
+	// one RNG stream drives both identically.
+	var locals, remotes []Member
+	for _, m := range members {
+		if m.ID == e.self {
+			continue
+		}
+		if m.Cluster == e.cluster {
+			locals = append(locals, m)
+		} else {
+			remotes = append(remotes, m)
+		}
+	}
+	if !e.asyncOut && len(remotes) > 0 {
+		v := remotes[e.rng.Intn(len(remotes))]
+		e.asyncOut = true
+		e.asyncSince = now
+		e.stats.Async++
+		d.Async = &v
+	}
+	if !e.syncOut && len(locals) > 0 {
+		v := locals[e.rng.Intn(len(locals))]
+		e.syncOut = true
+		e.stats.SyncLocal++
+		d.Sync = &v
+	}
+	return d
+}
+
+// SyncDone clears the synchronous slot; got reports whether the
+// attempt brought a job back.
+func (e *Engine) SyncDone(got bool) { e.done(&e.syncOut, got) }
+
+// AsyncDone clears the asynchronous wide-area slot.
+func (e *Engine) AsyncDone(got bool) { e.done(&e.asyncOut, got) }
+
+func (e *Engine) done(slot *bool, got bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	*slot = false
+	if got {
+		e.failStreak = 0
+		e.stats.Hits++
+	} else {
+		e.failStreak++
+	}
+}
+
+// Outstanding reports whether any steal slot is in flight.
+func (e *Engine) Outstanding() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.syncOut || e.asyncOut
+}
+
+// AsyncStalled reports whether the outstanding wide-area steal has
+// been in flight longer than threshold: a healthy WAN round trip
+// stays idle time, a saturated link must surface as inter-cluster
+// communication overhead.
+func (e *Engine) AsyncStalled(now, threshold float64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.asyncOut && now-e.asyncSince > threshold
+}
+
+// BackoffSec is the exponential retry delay after fruitless rounds:
+// 2ms doubling per consecutive failure, capped at 250ms, so an idle
+// node keeps probing without flooding anyone.
+func (e *Engine) BackoffSec() float64 {
+	e.mu.Lock()
+	streak := e.failStreak
+	e.mu.Unlock()
+	backoff := 0.002 * float64(int(1)<<min(streak, 7))
+	if backoff > 0.25 {
+		backoff = 0.25
+	}
+	return backoff
+}
+
+// Stats snapshots the attempt counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}

@@ -1,0 +1,239 @@
+package steal
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func members(ids ...string) []Member {
+	var out []Member
+	for _, id := range ids {
+		// Convention: "c0/xx" lives in cluster c0.
+		out = append(out, Member{ID: core.NodeID(id), Cluster: core.ClusterID(id[:2])})
+	}
+	return out
+}
+
+func TestCRSSlotDiscipline(t *testing.T) {
+	e := New(CRS, "c0/00", "c0", 1)
+	ms := members("c0/01", "c0/02", "c1/00", "c1/01")
+
+	d := e.Next(0, ms)
+	if d.Async == nil || d.Sync == nil {
+		t.Fatalf("first round should fill both slots: %+v", d)
+	}
+	if d.Async.Cluster == "c0" {
+		t.Fatalf("async victim %v is local", d.Async)
+	}
+	if d.Sync.Cluster != "c0" || d.SyncWide {
+		t.Fatalf("CRS sync victim must be local: %+v", d)
+	}
+	// Both slots occupied: nothing new until a completion.
+	if d2 := e.Next(0, ms); d2.Async != nil || d2.Sync != nil {
+		t.Fatalf("slots full but Next issued %+v", d2)
+	}
+	if !e.Outstanding() {
+		t.Fatal("Outstanding = false with both slots in flight")
+	}
+	e.SyncDone(false)
+	if d3 := e.Next(0, ms); d3.Sync == nil || d3.Async != nil {
+		t.Fatalf("after SyncDone only the sync slot should refill: %+v", d3)
+	}
+	e.AsyncDone(false)
+	e.SyncDone(false)
+	if e.Outstanding() {
+		t.Fatal("Outstanding = true with all slots cleared")
+	}
+}
+
+func TestCRSNeverStealsWideSynchronously(t *testing.T) {
+	e := New(CRS, "c0/00", "c0", 7)
+	ms := members("c0/01", "c1/00", "c1/01", "c2/00")
+	for i := 0; i < 200; i++ {
+		d := e.Next(float64(i), ms)
+		if d.Sync != nil {
+			if d.SyncWide || d.Sync.Cluster != "c0" {
+				t.Fatalf("round %d: CRS issued a synchronous WAN steal: %+v", i, d)
+			}
+			e.SyncDone(false)
+		}
+		if d.Async != nil {
+			e.AsyncDone(false)
+		}
+	}
+	if s := e.Stats(); s.SyncWide != 0 {
+		t.Fatalf("CRS paid %d synchronous WAN round trips", s.SyncWide)
+	}
+}
+
+func TestCRSOnlyLocalsNoAsync(t *testing.T) {
+	e := New(CRS, "c0/00", "c0", 3)
+	d := e.Next(0, members("c0/01", "c0/02"))
+	if d.Async != nil {
+		t.Fatalf("no remote clusters but async victim %v", d.Async)
+	}
+	if d.Sync == nil {
+		t.Fatal("local candidates but no sync victim")
+	}
+}
+
+func TestRandomPaysWANSynchronously(t *testing.T) {
+	e := New(Random, "c0/00", "c0", 11)
+	ms := members("c0/01", "c1/00", "c1/01", "c1/02")
+	sawWide := false
+	for i := 0; i < 100; i++ {
+		d := e.Next(0, ms)
+		if d.Async != nil {
+			t.Fatalf("Random policy issued an async steal: %+v", d)
+		}
+		if d.Sync == nil {
+			t.Fatal("candidates available but no victim")
+		}
+		if d.SyncWide {
+			sawWide = true
+			if d.Sync.Cluster == "c0" {
+				t.Fatalf("SyncWide set for local victim %+v", d.Sync)
+			}
+		}
+		e.SyncDone(false)
+	}
+	if !sawWide {
+		t.Fatal("uniform selection over 3/4 remote candidates never drew one")
+	}
+	if s := e.Stats(); s.SyncWide == 0 {
+		t.Fatal("stats recorded no synchronous WAN attempts")
+	}
+}
+
+func TestNoCandidates(t *testing.T) {
+	for _, p := range []Policy{CRS, Random} {
+		e := New(p, "c0/00", "c0", 1)
+		d := e.Next(0, members("c0/00")) // only ourselves
+		if d.Sync != nil || d.Async != nil {
+			t.Fatalf("policy %v stole from itself: %+v", p, d)
+		}
+	}
+}
+
+func TestBackoffGrowsAndResets(t *testing.T) {
+	e := New(CRS, "c0/00", "c0", 1)
+	if b := e.BackoffSec(); b != 0.002 {
+		t.Fatalf("initial backoff = %v, want 0.002", b)
+	}
+	for i := 0; i < 3; i++ {
+		e.SyncDone(false)
+	}
+	if b := e.BackoffSec(); b != 0.016 {
+		t.Fatalf("backoff after 3 failures = %v, want 0.016", b)
+	}
+	for i := 0; i < 20; i++ {
+		e.SyncDone(false)
+	}
+	if b := e.BackoffSec(); b != 0.25 {
+		t.Fatalf("backoff cap = %v, want 0.25", b)
+	}
+	e.SyncDone(true)
+	if b := e.BackoffSec(); b != 0.002 {
+		t.Fatalf("backoff after a hit = %v, want reset to 0.002", b)
+	}
+}
+
+func TestAsyncStalledThreshold(t *testing.T) {
+	e := New(CRS, "c0/00", "c0", 1)
+	ms := members("c1/00")
+	d := e.Next(10.0, ms)
+	if d.Async == nil {
+		t.Fatal("no async steal issued")
+	}
+	if e.AsyncStalled(10.02, 0.05) {
+		t.Fatal("stalled before the threshold elapsed")
+	}
+	if !e.AsyncStalled(10.06, 0.05) {
+		t.Fatal("not stalled after the threshold elapsed")
+	}
+	e.AsyncDone(false)
+	if e.AsyncStalled(99, 0.05) {
+		t.Fatal("stalled with no steal in flight")
+	}
+}
+
+// TestSeedForMatchesLegacyDerivation pins the per-node stream formula
+// both runtimes now share: seed ^ FNV-64a(id) — the derivation the
+// satin node used before the kernel was extracted, so seeded runs
+// stay replayable.
+func TestSeedForMatchesLegacyDerivation(t *testing.T) {
+	h := fnv.New64a()
+	h.Write([]byte("fs0/03"))
+	want := int64(42) ^ int64(h.Sum64())
+	if got := SeedFor(42, "fs0/03"); got != want {
+		t.Fatalf("SeedFor = %d, want %d", got, want)
+	}
+	if SeedFor(42, "fs0/03") == SeedFor(42, "fs0/04") {
+		t.Fatal("distinct nodes derived the same stream")
+	}
+}
+
+// TestCrossRuntimeVictimParity drives one membership/steal script
+// through two engines constructed exactly as the DES driver
+// (internal/des.addNode) and the satin driver (satin.StartNode) build
+// theirs — same policy, identity and SeedFor stream — and requires
+// the identical victim sequence. This is the cross-runtime parity the
+// refactor pins: victim selection lives in ONE kernel, so the two
+// runtimes cannot drift.
+func TestCrossRuntimeVictimParity(t *testing.T) {
+	const runSeed = 42
+	self, cluster := core.NodeID("fs0/00"), core.ClusterID("fs0")
+
+	// Membership churn script: (snapshot, sync outcome, async outcome).
+	script := []struct {
+		members  []Member
+		syncGot  bool
+		asyncGot bool
+	}{
+		{members("fs0/01", "fs0/02", "fs1/00", "fs1/01"), false, false},
+		{members("fs0/01", "fs0/02", "fs1/00", "fs1/01"), true, false},
+		{members("fs0/01", "fs1/00"), false, true},
+		{members("fs0/01", "fs0/02", "fs0/03", "fs2/00"), false, false},
+		{members("fs2/00"), true, true},
+		{members("fs0/01", "fs0/02", "fs1/00", "fs1/01", "fs2/00"), true, true},
+	}
+
+	run := func(e *Engine) []core.NodeID {
+		var seq []core.NodeID
+		for i, step := range script {
+			d := e.Next(float64(i), step.members)
+			if d.Async != nil {
+				seq = append(seq, d.Async.ID)
+			}
+			if d.Sync != nil {
+				seq = append(seq, d.Sync.ID)
+			}
+			if d.Sync != nil {
+				e.SyncDone(step.syncGot)
+			}
+			if d.Async != nil {
+				e.AsyncDone(step.asyncGot)
+			}
+		}
+		return seq
+	}
+
+	desEngine := New(CRS, self, cluster, SeedFor(runSeed, self))
+	satinEngine := New(CRS, self, cluster, SeedFor(runSeed, self))
+	desSeq := run(desEngine)
+	satinSeq := run(satinEngine)
+
+	if len(desSeq) == 0 {
+		t.Fatal("script produced no victims")
+	}
+	if len(desSeq) != len(satinSeq) {
+		t.Fatalf("victim sequences diverged: %v vs %v", desSeq, satinSeq)
+	}
+	for i := range desSeq {
+		if desSeq[i] != satinSeq[i] {
+			t.Fatalf("victim %d differs: %v vs %v", i, desSeq[i], satinSeq[i])
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package satin
+
+import (
+	"testing"
+	"time"
+)
+
+// tspawnN spawns N trivial children and syncs — the spawn/sync hot
+// path the lock-free deque exists for.
+type tspawnN struct{ N int }
+
+func (s tspawnN) Execute(ctx *Context) (any, error) {
+	for i := 0; i < s.N; i++ {
+		ctx.Spawn(tnop{})
+	}
+	return s.N, ctx.Sync()
+}
+
+func init() { Register(tspawnN{}) }
+
+// BenchmarkSpawnSync measures end-to-end spawn+execute+sync throughput
+// on a single node: one op is one task spawning 256 children. The
+// deque push/pop on this path is lock-free; before the refactor every
+// spawn and pop went through the node's big mutex.
+func BenchmarkSpawnSync(b *testing.B) {
+	g, err := NewGrid(GridConfig{
+		Clusters: []ClusterSpec{{Name: "c0", Nodes: 1}},
+		Registry: fastReg(),
+		Node:     NodeConfig{Registry: fastReg()},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	nodes, err := g.StartNodes("c0", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := nodes[0]
+	if _, err := n.Run(tspawnN{N: 1}); err != nil { // warm up
+		b.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Run(tspawnN{N: 256}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

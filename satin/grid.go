@@ -39,10 +39,14 @@ type GridConfig struct {
 	Registry registry.Options
 
 	// Seed makes a whole-grid run reproducible from one value: every
-	// node's RNG derives its stream from it (Seed ^ hash(nodeID)), and
-	// seeded deployments log it on startup so a failure report carries
-	// everything needed to replay the run.
+	// node's RNG derives its stream from it (steal.SeedFor: Seed ^
+	// hash(nodeID)), and seeded deployments log it on startup so a
+	// failure report carries everything needed to replay the run.
 	Seed int64
+
+	// StealPolicy selects the victim-selection algorithm for every node
+	// (default StealCRS; StealRandom is the ablation baseline).
+	StealPolicy StealPolicy
 
 	// WrapFabric, when set, wraps the grid's in-process fabric before
 	// the registry or any node attaches. The chaos harness interposes
@@ -118,6 +122,9 @@ func NewGrid(cfg GridConfig) (*Grid, error) {
 	g.fabric = g.inproc
 	if cfg.WrapFabric != nil {
 		g.fabric = cfg.WrapFabric(g.inproc)
+	}
+	if cfg.StealPolicy != StealCRS {
+		g.cfg.Node.StealPolicy = cfg.StealPolicy
 	}
 	if cfg.Seed != 0 {
 		g.cfg.Node.Seed = cfg.Seed

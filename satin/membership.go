@@ -1,0 +1,168 @@
+package satin
+
+import (
+	"sync"
+
+	"repro/internal/registry"
+	"repro/internal/steal"
+	"repro/internal/transport/wire"
+)
+
+// membershipView is the node's window on the registry: the client
+// session plus the departed-set that filters late messages from nodes
+// already seen leaving or dying. Its lock is a leaf in the node's
+// hierarchy — membership methods never acquire n.mu (callers holding
+// n.mu may call in here, never the reverse).
+type membershipView struct {
+	mu       sync.Mutex
+	reg      *registry.Client
+	departed map[NodeID]bool
+}
+
+func (v *membershipView) init() {
+	v.departed = make(map[NodeID]bool)
+}
+
+func (v *membershipView) setClient(reg *registry.Client) {
+	v.mu.Lock()
+	v.reg = reg
+	v.mu.Unlock()
+}
+
+func (v *membershipView) client() *registry.Client {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.reg
+}
+
+func (v *membershipView) isDeparted(id NodeID) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.departed[id]
+}
+
+func (v *membershipView) markDeparted(id NodeID) {
+	v.mu.Lock()
+	v.departed[id] = true
+	v.mu.Unlock()
+}
+
+func (v *membershipView) clearDeparted(id NodeID) {
+	v.mu.Lock()
+	delete(v.departed, id)
+	v.mu.Unlock()
+}
+
+// stealables snapshots the current membership as steal-kernel input.
+// Members without a cluster are non-workers (the adaptation
+// coordinator's registry session): never steal from them. The engine
+// itself filters out the calling node.
+func (v *membershipView) stealables() []steal.Member {
+	reg := v.client()
+	if reg == nil {
+		return nil
+	}
+	members := reg.Members()
+	out := make([]steal.Member, 0, len(members))
+	for _, m := range members {
+		if m.Cluster == "" {
+			continue
+		}
+		out = append(out, steal.Member{ID: m.ID, Cluster: m.Cluster})
+	}
+	return out
+}
+
+// clusterOf looks a live member's cluster up ("" when unknown).
+func (v *membershipView) clusterOf(id NodeID) ClusterID {
+	reg := v.client()
+	if reg == nil {
+		return ""
+	}
+	for _, m := range reg.Members() {
+		if m.ID == id {
+			return m.Cluster
+		}
+	}
+	return ""
+}
+
+// eventLoop consumes registry events: deaths trigger recomputation of
+// jobs the dead node held; the "leave" signal starts a graceful exit.
+func (n *Node) eventLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case ev, ok := <-n.members.client().Events():
+			if !ok {
+				return
+			}
+			switch ev.Kind {
+			case registry.Joined:
+				// A node ID can be reused after its slot is released
+				// back to the scheduler: a rejoin clears its departed
+				// mark so it can steal again.
+				n.members.clearDeparted(ev.Node.ID)
+			case registry.Died, registry.Left:
+				n.reclaimFrom(ev.Node.ID)
+			case registry.SignalEvent:
+				if ev.Signal == "leave" {
+					n.mu.Lock()
+					n.leaving = true
+					n.mu.Unlock()
+					n.wakeUp()
+				}
+			}
+		}
+	}
+}
+
+// reclaimFrom re-enqueues every pending job the departed node held —
+// Satin's orphan recomputation. A graceful leaver also returns jobs
+// explicitly; the Future deduplicates if both paths deliver. The
+// departed mark goes in BEFORE n.mu is taken, so onHolding's check
+// under n.mu can never observe a holder that is about to die without
+// the mark being visible.
+func (n *Node) reclaimFrom(dead NodeID) {
+	if dead == n.cfg.ID {
+		return
+	}
+	n.members.markDeparted(dead)
+	n.mu.Lock()
+	var reclaimed []jobMsg
+	for id, pj := range n.pending {
+		if pj.holder == dead {
+			pj.holder = n.cfg.ID
+			reclaimed = append(reclaimed, jobMsg{ID: id, Owner: n.cfg.ID, Task: pj.task})
+		}
+	}
+	n.mu.Unlock()
+	if len(reclaimed) > 0 {
+		for _, j := range reclaimed {
+			n.inbox.add(j)
+		}
+		n.wakeUp()
+	}
+}
+
+// countInterBytes books a received frame's wire bytes as inter-cluster
+// traffic when the sender sits in another cluster — the byte counts
+// behind the coordinator's achieved-bandwidth estimate, which feeds the
+// learned minimum-bandwidth requirement.
+func (n *Node) countInterBytes(m wire.Meta) {
+	if m.Bytes == 0 {
+		return
+	}
+	from := NodeID("")
+	if len(m.From) > len("satin:") {
+		from = NodeID(m.From[len("satin:"):])
+	}
+	if from == "" || from == n.cfg.ID {
+		return
+	}
+	if c := n.members.clusterOf(from); c != "" && c != n.cfg.Cluster {
+		n.stats.addInterBytes(float64(m.Bytes))
+	}
+}

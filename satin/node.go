@@ -1,17 +1,15 @@
 package satin
 
 import (
-	"errors"
 	"fmt"
-	"hash/fnv"
-	"math/rand"
-	"sync"
 	"time"
 
-	"repro/internal/metrics"
+	"repro/internal/deque"
 	"repro/internal/registry"
+	"repro/internal/steal"
 	"repro/internal/transport"
 	"repro/internal/transport/wire"
+	"sync"
 )
 
 // NodeConfig configures one runtime node.
@@ -52,6 +50,10 @@ type NodeConfig struct {
 	// stays idle time, a saturated link shows up as inter overhead.
 	InterWaitThreshold time.Duration
 
+	// StealPolicy selects the victim-selection algorithm (default
+	// StealCRS; StealRandom is the ablation baseline).
+	StealPolicy StealPolicy
+
 	// Seed makes victim selection reproducible per node.
 	Seed int64
 }
@@ -74,9 +76,6 @@ func (c *NodeConfig) defaults() {
 	}
 }
 
-// worker states (metrics buckets plus implicit idle)
-const stateIdle = -1
-
 // pendingJob is a spawned job this node owns.
 type pendingJob struct {
 	task   Task
@@ -84,30 +83,40 @@ type pendingJob struct {
 	holder NodeID // who currently holds it ("" never; self = local)
 }
 
-// Node is one processor of the runtime.
+// Node is one processor of the runtime, decomposed into components
+// with narrow locks so the spawn/pop hot path never serialises
+// against steal handlers, membership events or statistics:
+//
+//   - jobs:    lock-free Chase–Lev deque — the worker goroutine owns
+//     the bottom (Spawn push, popNewest pop), steal handlers CAS the
+//     top. No lock on the path every task traverses.
+//   - inbox:   the funnel for jobs arriving off the worker goroutine
+//     (adopted steals, returned jobs, reclaims, Submit roots); the
+//     worker drains it into the deque between tasks.
+//   - mu:      shrunk to the genuinely shared job-OWNERSHIP state:
+//     the pending table, ID allocation and the leaving/stopped flags.
+//   - members: membership view (registry client, departed set).
+//   - stealer: the CRS engine (internal/steal) plus reply waiters.
+//   - stats:   accounting buckets, load factor and benchmark pacing.
+//
+// Lock hierarchy: n.mu may acquire members' or stats' internal locks;
+// never the reverse.
 type Node struct {
 	cfg NodeConfig
-	reg *registry.Client // written once under mu before the worker starts
 	wc  *wire.Conn
-	rng *rand.Rand // guarded by mu
 
-	mu           sync.Mutex
-	deque        []jobMsg
-	pending      map[uint64]*pendingJob
-	nextID       uint64
-	nextSeq      uint64
-	stealWaiters map[uint64]chan bool
-	leaving      bool
-	stopped      bool
-	departed     map[NodeID]bool // members seen leaving/dying, for late messages
-	load         float64
-	wanInFlight  bool
-	wanSince     time.Time // when the outstanding WAN steal was issued
-	benchPending bool
+	jobs  *deque.Deque[jobMsg]
+	inbox inbox
 
-	acc        *metrics.Accumulator
-	curState   int
-	stateSince time.Time
+	mu      sync.Mutex
+	pending map[uint64]*pendingJob
+	nextID  uint64
+	leaving bool
+	stopped bool
+
+	members membershipView
+	stealer stealer
+	stats   statsTracker
 
 	wake   chan struct{}
 	stopCh chan struct{}
@@ -117,12 +126,6 @@ type Node struct {
 }
 
 func satinEP(id NodeID) string { return "satin:" + string(id) }
-
-func hashID(id NodeID) int64 {
-	h := fnv.New64a()
-	h.Write([]byte(id))
-	return int64(h.Sum64())
-}
 
 // StartNode joins the registry and starts the worker.
 func StartNode(cfg NodeConfig) (*Node, error) {
@@ -135,21 +138,16 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{
-		cfg:          cfg,
-		wc:           wire.New(ep),
-		rng:          rand.New(rand.NewSource(cfg.Seed ^ hashID(cfg.ID))),
-		pending:      make(map[uint64]*pendingJob),
-		departed:     make(map[NodeID]bool),
-		stealWaiters: make(map[uint64]chan bool),
-		acc:          metrics.NewAccumulator(cfg.ID, cfg.Cluster, 0),
-		curState:     stateIdle,
-		stateSince:   time.Now(),
-		wake:         make(chan struct{}, 1),
-		stopCh:       make(chan struct{}),
+		cfg:     cfg,
+		wc:      wire.New(ep),
+		jobs:    deque.New[jobMsg](),
+		pending: make(map[uint64]*pendingJob),
+		wake:    make(chan struct{}, 1),
+		stopCh:  make(chan struct{}),
 	}
-	if cfg.Bench != nil {
-		n.benchPending = true
-	}
+	n.members.init()
+	n.stealer.init(&cfg)
+	n.stats.init(&cfg)
 	// Handlers go live before the registry join: a peer that learns of
 	// this node through the join broadcast may steal from it before
 	// Join even returns here.
@@ -163,9 +161,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		n.wc.Close()
 		return nil, err
 	}
-	n.mu.Lock()
-	n.reg = reg
-	n.mu.Unlock()
+	n.members.setClient(reg)
 	n.wg.Add(2)
 	go n.eventLoop()
 	go n.worker()
@@ -185,15 +181,40 @@ func (n *Node) Cluster() ClusterID { return n.cfg.Cluster }
 // SetLoadFactor emulates a competing CPU load: application work (and
 // the benchmark) takes (1+f) times as long. This is the real-runtime
 // counterpart of the paper's artificial-load experiments.
-func (n *Node) SetLoadFactor(f float64) {
+func (n *Node) SetLoadFactor(f float64) { n.stats.setLoad(f) }
+
+// StealStats snapshots the node's steal-attempt counters (victim
+// selection lives in internal/steal; the counts distinguish
+// latency-hidden asynchronous WAN attempts from synchronous ones the
+// Random ablation pays in the idle path).
+func (n *Node) StealStats() steal.Stats { return n.stealer.eng.Stats() }
+
+// registerJob allocates an ID and records ownership of a new job.
+func (n *Node) registerJob(t Task) (uint64, *Future) {
 	n.mu.Lock()
-	n.load = f
+	n.nextID++
+	id := n.nextID
+	fut := &Future{}
+	n.pending[id] = &pendingJob{task: t, fut: fut, holder: n.cfg.ID}
 	n.mu.Unlock()
+	return id, fut
+}
+
+// spawnJob enters a job from task code. Only the worker goroutine
+// calls it (via Context.Spawn), so the deque push is an owner
+// operation — lock-free.
+func (n *Node) spawnJob(t Task) *Future {
+	id, fut := n.registerJob(t)
+	n.jobs.Push(jobMsg{ID: id, Owner: n.cfg.ID, Task: t})
+	return fut
 }
 
 // Submit enters a root task owned by this node and returns its future.
+// Callable from any goroutine: the job travels through the inbox and
+// the worker adopts it.
 func (n *Node) Submit(t Task) *Future {
-	fut := n.spawnJob(t)
+	id, fut := n.registerJob(t)
+	n.inbox.add(jobMsg{ID: id, Owner: n.cfg.ID, Task: t})
 	n.wakeUp()
 	return fut
 }
@@ -249,150 +270,12 @@ func (n *Node) Kill() {
 	}
 	close(n.stopCh)
 	n.wakeUp()
-	n.reg.Close()
+	n.members.client().Close()
 	n.wc.Close()
 	n.wg.Wait()
 	if n.onStop != nil {
 		n.onStop(n)
 	}
-}
-
-// Report snapshots the node's statistics for the elapsed period.
-func (n *Node) Report() metrics.Report {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.snapshotLocked()
-}
-
-func (n *Node) snapshotLocked() metrics.Report {
-	// Fold the in-progress state into the period before snapshotting.
-	now := time.Now()
-	el := now.Sub(n.stateSince).Seconds()
-	if n.curState >= 0 && el > 0 {
-		n.acc.Add(metrics.Bucket(n.curState), el)
-	}
-	n.stateSince = now
-	return n.acc.Snapshot(monotonicSeconds())
-}
-
-var startTime = time.Now()
-
-func monotonicSeconds() float64 { return time.Since(startTime).Seconds() }
-
-// ---- worker ----
-
-func (n *Node) worker() {
-	defer n.wg.Done()
-	for {
-		n.mu.Lock()
-		stopped, leaving := n.stopped, n.leaving
-		bench := n.benchPending
-		n.mu.Unlock()
-		if stopped {
-			return
-		}
-		if leaving {
-			if n.tryFinishLeave() {
-				return
-			}
-		}
-		if bench {
-			n.runBench()
-			continue
-		}
-		if j, ok := n.popNewest(); ok {
-			n.executeJob(j)
-			continue
-		}
-		if leaving {
-			// Deque drained but self-owned work is still outstanding:
-			// wait for results (or reclaims) instead of spinning.
-			n.waitForWork(2 * time.Millisecond)
-			continue
-		}
-		if j, ok := n.trySteal(); ok {
-			n.executeJob(j)
-			continue
-		}
-		n.waitForWork(2 * time.Millisecond)
-	}
-}
-
-func (n *Node) popNewest() (jobMsg, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if len(n.deque) == 0 {
-		return jobMsg{}, false
-	}
-	j := n.deque[len(n.deque)-1]
-	n.deque = n.deque[:len(n.deque)-1]
-	return j, true
-}
-
-func (n *Node) wakeUp() {
-	select {
-	case n.wake <- struct{}{}:
-	default:
-	}
-}
-
-// enterState switches the worker's accounting bucket. A competing load
-// factor stretches busy and benchmark intervals by sleeping, emulating
-// time-sharing with the load.
-func (n *Node) enterState(next int) {
-	n.mu.Lock()
-	prev := n.curState
-	el := time.Since(n.stateSince)
-	load := n.load
-	n.mu.Unlock()
-	if load > 0 && el > 0 &&
-		(prev == int(metrics.Busy) || prev == int(metrics.Bench)) {
-		time.Sleep(time.Duration(float64(el) * load))
-	}
-	n.mu.Lock()
-	if n.curState >= 0 {
-		if el2 := time.Since(n.stateSince).Seconds(); el2 > 0 {
-			n.acc.Add(metrics.Bucket(n.curState), el2)
-		}
-	}
-	n.curState = next
-	n.stateSince = time.Now()
-	n.mu.Unlock()
-}
-
-func (n *Node) executeJob(j jobMsg) {
-	n.enterState(int(metrics.Busy))
-	ctx := &Context{node: n}
-	val, err := safeExecute(j.Task, ctx)
-	n.enterState(stateIdle)
-	if errors.Is(err, errNodeStopped) {
-		// Execution was cut short by Kill: this is not a task result.
-		// Say nothing; the owner recomputes the job when the failure
-		// detector reports us dead.
-		return
-	}
-	if j.Owner == n.cfg.ID {
-		n.completeLocal(j.ID, val, err)
-		return
-	}
-	res := resultMsg{ID: j.ID, Value: val, Err: errString(err)}
-	if sendErr := wire.Send(n.wc, satinEP(j.Owner), res); sendErr != nil {
-		// Unregistered result type (the encode failure restarted the
-		// session): deliver the error instead so the owner's sync does
-		// not hang.
-		wire.Send(n.wc, satinEP(j.Owner), resultMsg{ID: j.ID, Err: sendErr.Error()})
-	}
-}
-
-// safeExecute converts panics in task code into errors; a crashing task
-// must not take the whole node down (the computation would deadlock).
-func safeExecute(t Task, ctx *Context) (val any, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("satin: task panic: %v", r)
-		}
-	}()
-	return t.Execute(ctx)
 }
 
 func (n *Node) completeLocal(id uint64, val any, err error) {
@@ -408,227 +291,94 @@ func (n *Node) completeLocal(id uint64, val any, err error) {
 	}
 }
 
-func (n *Node) spawnJob(t Task) *Future {
+// setHolder updates who holds an owned job, for recomputation if the
+// holder dies.
+func (n *Node) setHolder(id uint64, holder NodeID) {
 	n.mu.Lock()
-	n.nextID++
-	id := n.nextID
-	fut := &Future{}
-	n.pending[id] = &pendingJob{task: t, fut: fut, holder: n.cfg.ID}
-	n.deque = append(n.deque, jobMsg{ID: id, Owner: n.cfg.ID, Task: t})
-	n.mu.Unlock()
-	return fut
-}
-
-// ---- stealing (CRS) ----
-
-// trySteal implements cluster-aware random work stealing: keep one
-// asynchronous wide-area steal outstanding while issuing synchronous
-// local steals, so WAN latency hides behind LAN attempts.
-func (n *Node) trySteal() (jobMsg, bool) {
-	members := n.reg.Members()
-	var locals, remotes []registry.NodeInfo
-	for _, m := range members {
-		if m.ID == n.cfg.ID || m.Cluster == "" {
-			// Members without a cluster are non-workers (the
-			// adaptation coordinator's registry session): never steal
-			// from them.
-			continue
-		}
-		if m.Cluster == n.cfg.Cluster {
-			locals = append(locals, m)
-		} else {
-			remotes = append(remotes, m)
-		}
-	}
-	n.mu.Lock()
-	launchWAN := len(remotes) > 0 && !n.wanInFlight
-	if launchWAN {
-		n.wanInFlight = true
-		n.wanSince = time.Now()
-	}
-	var wanVictim registry.NodeInfo
-	if launchWAN {
-		wanVictim = remotes[n.rng.Intn(len(remotes))]
-	}
-	var localVictim registry.NodeInfo
-	haveLocal := len(locals) > 0
-	if haveLocal {
-		localVictim = locals[n.rng.Intn(len(locals))]
+	if pj, ok := n.pending[id]; ok {
+		pj.holder = holder
 	}
 	n.mu.Unlock()
-
-	if launchWAN {
-		go n.wanSteal(wanVictim)
-	}
-	if !haveLocal {
-		return jobMsg{}, false
-	}
-	n.enterState(int(metrics.Intra))
-	gotJob := n.stealFrom(localVictim.ID, n.cfg.LocalStealTimeout)
-	n.enterState(stateIdle)
-	if !gotJob {
-		return jobMsg{}, false
-	}
-	// The reply handler adopted the job into our deque (ownership
-	// transfers there, never through a channel a timed-out waiter may
-	// have abandoned); take the freshest entry.
-	return n.popNewest()
-}
-
-// wanSteal runs the asynchronous wide-area steal: a successful job is
-// adopted into the deque by the reply handler; here we only clear the
-// in-flight flag CRS keys on.
-func (n *Node) wanSteal(victim registry.NodeInfo) {
-	n.stealFrom(victim.ID, n.cfg.WANStealTimeout)
-	n.mu.Lock()
-	n.wanInFlight = false
-	n.mu.Unlock()
-	n.wakeUp()
-}
-
-// stealFrom sends one steal request and waits for the reply; it
-// reports whether the victim granted a job (which the reply handler
-// already adopted into the deque).
-func (n *Node) stealFrom(victim NodeID, timeout time.Duration) bool {
-	n.mu.Lock()
-	n.nextSeq++
-	seq := n.nextSeq
-	ch := make(chan bool, 1)
-	n.stealWaiters[seq] = ch
-	n.mu.Unlock()
-	defer func() {
-		n.mu.Lock()
-		delete(n.stealWaiters, seq)
-		n.mu.Unlock()
-	}()
-	if err := wire.Send(n.wc, satinEP(victim), stealMsg{Thief: n.cfg.ID, Cluster: n.cfg.Cluster, Seq: seq}); err != nil {
-		return false
-	}
-	select {
-	case got := <-ch:
-		return got
-	case <-time.After(timeout):
-		return false
-	case <-n.stopCh:
-		return false
-	}
 }
 
 // noteHolding tells the job's owner who holds it now, so the owner can
 // recompute it if this node dies (the fault-tolerance bookkeeping).
 func (n *Node) noteHolding(j jobMsg) {
 	if j.Owner == n.cfg.ID {
-		n.mu.Lock()
-		if pj, ok := n.pending[j.ID]; ok {
-			pj.holder = n.cfg.ID
-		}
-		n.mu.Unlock()
+		n.setHolder(j.ID, n.cfg.ID)
 		return
 	}
 	wire.Send(n.wc, satinEP(j.Owner), holdingMsg{ID: j.ID, Holder: n.cfg.ID})
 }
 
-func (n *Node) waitForWork(d time.Duration) {
-	n.mu.Lock()
-	wanStalled := n.wanInFlight && time.Since(n.wanSince) > n.cfg.InterWaitThreshold
-	n.mu.Unlock()
-	if wanStalled {
-		// Waiting on a wide-area steal that should long have returned:
-		// the WAN path is congested, which the monitoring must surface
-		// as inter-cluster communication overhead. Ordinary round-trip
-		// waits stay idle time.
-		n.enterState(int(metrics.Inter))
-	} else {
-		n.enterState(stateIdle)
-	}
-	select {
-	case <-n.wake:
-	case <-time.After(d):
-	case <-n.stopCh:
-	}
-	n.enterState(stateIdle)
-}
-
-// ---- benchmarking ----
-
-func (n *Node) runBench() {
-	n.mu.Lock()
-	n.benchPending = false
-	bench := n.cfg.Bench
-	n.mu.Unlock()
-	if bench == nil {
-		return
-	}
-	n.enterState(int(metrics.Bench))
-	start := time.Now()
-	ctx := &Context{node: n, benchMode: true}
-	_, _ = safeExecute(bench, ctx)
-	n.enterState(stateIdle)
-	dur := time.Since(start).Seconds()
-	if dur <= 0 {
-		dur = 1e-9
-	}
-	speed := n.cfg.BenchWork / dur
-	n.mu.Lock()
-	n.acc.SetSpeed(speed)
-	n.mu.Unlock()
-	interval := time.Duration(dur / n.cfg.BenchBudget * float64(time.Second))
-	if interval < 50*time.Millisecond {
-		interval = 50 * time.Millisecond
-	}
-	time.AfterFunc(interval, func() {
-		n.mu.Lock()
-		if !n.stopped && !n.leaving {
-			n.benchPending = true
-		}
-		n.mu.Unlock()
-		n.wakeUp()
-	})
-}
-
-// ---- malleability & fault tolerance ----
+// ---- malleability ----
 
 // tryFinishLeave completes a graceful departure once no self-owned
 // work remains: foreign jobs in the deque go back to their owners,
 // then the node leaves the registry. Returns true when the node is
-// done.
+// done. Worker goroutine only (it drains the deque's owner end).
 func (n *Node) tryFinishLeave() bool {
 	n.mu.Lock()
+	if n.stopped {
+		// Kill won the race; the node is already down, stopCh closed.
+		n.mu.Unlock()
+		return true
+	}
 	if len(n.pending) > 0 {
 		// This node still owns unfinished jobs (it is executing a
 		// subtree): it must keep working before it may leave.
 		n.mu.Unlock()
 		return false
 	}
+	n.mu.Unlock()
+
+	// Drain everything this node holds. The worker owns the deque
+	// bottom, so nobody else pops here; thieves may race us for
+	// individual jobs, which is fine — a stolen job is simply no
+	// longer ours to return.
+	n.drainInbox()
+	var foreign []jobMsg
+	for {
+		j, ok := n.jobs.PopBottom()
+		if !ok {
+			break
+		}
+		if j.Owner == n.cfg.ID {
+			// Own work still queued (a Submit raced the pending
+			// check): put everything back and keep working.
+			n.jobs.Push(j)
+			for _, f := range foreign {
+				n.jobs.Push(f)
+			}
+			return false
+		}
+		foreign = append(foreign, j)
+	}
+
+	n.mu.Lock()
 	if n.stopped {
-		// Kill won the race while the worker was between its loop-top
-		// check and here; the node is already down and stopCh closed.
+		// Kill raced the drain: crash semantics, the drained copies
+		// are lost and owners recompute via the failure detector.
 		n.mu.Unlock()
 		return true
 	}
-	var foreign []jobMsg
-	var keep []jobMsg
-	for _, j := range n.deque {
-		if j.Owner != n.cfg.ID {
-			foreign = append(foreign, j)
-		} else {
-			keep = append(keep, j)
-		}
-	}
-	if len(keep) > 0 {
+	if len(n.pending) > 0 {
 		n.mu.Unlock()
+		for _, f := range foreign {
+			n.jobs.Push(f)
+		}
 		return false
 	}
-	n.deque = nil
 	n.stopped = true
 	n.mu.Unlock()
+	foreign = append(foreign, n.inbox.drain()...) // late adoptions
 	for _, j := range foreign {
 		// A failed send (unencodable task, owner gone) loses the copy;
 		// the owner recomputes when the failure detector reports us.
 		wire.Send(n.wc, satinEP(j.Owner), returnJobMsg{Job: j})
 	}
 	close(n.stopCh)
-	n.reg.Leave()
+	n.members.client().Leave()
 	n.wc.Close()
 	// The worker (our caller) returns after this; notify once every
 	// companion goroutine has drained.
@@ -641,136 +391,7 @@ func (n *Node) tryFinishLeave() bool {
 	return true
 }
 
-// eventLoop consumes registry events: deaths trigger recomputation of
-// jobs the dead node held; the "leave" signal starts a graceful exit.
-func (n *Node) eventLoop() {
-	defer n.wg.Done()
-	for {
-		select {
-		case <-n.stopCh:
-			return
-		case ev, ok := <-n.reg.Events():
-			if !ok {
-				return
-			}
-			switch ev.Kind {
-			case registry.Joined:
-				// A node ID can be reused after its slot is released
-				// back to the scheduler: a rejoin clears its departed
-				// mark so it can steal again.
-				n.mu.Lock()
-				delete(n.departed, ev.Node.ID)
-				n.mu.Unlock()
-			case registry.Died, registry.Left:
-				n.reclaimFrom(ev.Node.ID)
-			case registry.SignalEvent:
-				if ev.Signal == "leave" {
-					n.mu.Lock()
-					n.leaving = true
-					n.mu.Unlock()
-					n.wakeUp()
-				}
-			}
-		}
-	}
-}
-
-// reclaimFrom re-enqueues every pending job the departed node held —
-// Satin's orphan recomputation. A graceful leaver also returns jobs
-// explicitly; the Future deduplicates if both paths deliver.
-func (n *Node) reclaimFrom(dead NodeID) {
-	if dead == n.cfg.ID {
-		return
-	}
-	n.mu.Lock()
-	n.departed[dead] = true
-	var reclaimed int
-	for id, pj := range n.pending {
-		if pj.holder == dead {
-			pj.holder = n.cfg.ID
-			n.deque = append(n.deque, jobMsg{ID: id, Owner: n.cfg.ID, Task: pj.task})
-			reclaimed++
-		}
-	}
-	n.mu.Unlock()
-	if reclaimed > 0 {
-		n.wakeUp()
-	}
-}
-
-// ---- message handling ----
-
-func (n *Node) onSteal(sm stealMsg, _ wire.Meta) {
-	n.mu.Lock()
-	var reply stealReplyMsg
-	reply.Seq = sm.Seq
-	if !n.stopped && !n.leaving && !n.departed[sm.Thief] && len(n.deque) > 0 {
-		j := n.deque[0] // oldest = biggest subtree
-		n.deque = n.deque[1:]
-		reply.HasJob = true
-		reply.Job = j
-		if j.Owner == n.cfg.ID {
-			if pj, ok := n.pending[j.ID]; ok {
-				pj.holder = sm.Thief
-			}
-		}
-	}
-	n.mu.Unlock()
-	if reply.HasJob && reply.Job.Owner != n.cfg.ID && reply.Job.Owner != sm.Thief {
-		// Tell the third-party owner immediately where its job went:
-		// if the thief dies before its own notification, the owner
-		// must still know whom to watch for recomputation.
-		wire.Send(n.wc, satinEP(reply.Job.Owner), holdingMsg{ID: reply.Job.ID, Holder: sm.Thief})
-	}
-	if err := wire.Send(n.wc, satinEP(sm.Thief), reply); err != nil {
-		// Task type not registered for gob (or the thief is gone): hand
-		// the job back to ourselves and fail the steal.
-		if reply.HasJob {
-			n.mu.Lock()
-			n.deque = append([]jobMsg{reply.Job}, n.deque...)
-			if reply.Job.Owner == n.cfg.ID {
-				if pj, ok := n.pending[reply.Job.ID]; ok {
-					pj.holder = n.cfg.ID
-				}
-			}
-			n.mu.Unlock()
-		}
-		wire.Send(n.wc, satinEP(sm.Thief), stealReplyMsg{Seq: sm.Seq})
-	}
-}
-
-func (n *Node) onStealReply(sr stealReplyMsg, m wire.Meta) {
-	n.countInterBytes(m)
-	returnIt := false
-	if sr.HasJob {
-		// Adopt the job here, whatever happened to the waiter: a
-		// reply that lost a race with the steal timeout must not
-		// lose the job (its owner already recorded us as holder).
-		n.mu.Lock()
-		if n.stopped {
-			returnIt = true
-		} else {
-			n.deque = append(n.deque, sr.Job)
-		}
-		n.mu.Unlock()
-		if !returnIt {
-			n.noteHolding(sr.Job)
-			n.wakeUp()
-		}
-	}
-	if returnIt {
-		wire.Send(n.wc, satinEP(sr.Job.Owner), returnJobMsg{Job: sr.Job})
-	}
-	n.mu.Lock()
-	ch := n.stealWaiters[sr.Seq]
-	n.mu.Unlock()
-	if ch != nil {
-		select {
-		case ch <- sr.HasJob:
-		default:
-		}
-	}
-}
+// ---- owner-side message handling ----
 
 func (n *Node) onResult(rm resultMsg, m wire.Meta) {
 	n.countInterBytes(m)
@@ -780,13 +401,14 @@ func (n *Node) onResult(rm resultMsg, m wire.Meta) {
 func (n *Node) onHolding(hm holdingMsg, _ wire.Meta) {
 	n.mu.Lock()
 	reclaim := false
+	var job jobMsg
 	if pj, ok := n.pending[hm.ID]; ok {
-		if n.departed[hm.Holder] {
+		if n.members.isDeparted(hm.Holder) {
 			// The notification lost the race with the holder's
 			// death event: recompute here and now, or the job
 			// would point at a dead node forever.
 			pj.holder = n.cfg.ID
-			n.deque = append(n.deque, jobMsg{ID: hm.ID, Owner: n.cfg.ID, Task: pj.task})
+			job = jobMsg{ID: hm.ID, Owner: n.cfg.ID, Task: pj.task}
 			reclaim = true
 		} else {
 			pj.holder = hm.Holder
@@ -794,69 +416,23 @@ func (n *Node) onHolding(hm holdingMsg, _ wire.Meta) {
 	}
 	n.mu.Unlock()
 	if reclaim {
+		n.inbox.add(job)
 		n.wakeUp()
 	}
 }
 
 func (n *Node) onReturnJob(rj returnJobMsg, _ wire.Meta) {
-	n.mu.Lock()
 	if rj.Job.Owner == n.cfg.ID {
-		if pj, ok := n.pending[rj.Job.ID]; ok {
+		n.mu.Lock()
+		pj, ok := n.pending[rj.Job.ID]
+		if ok {
 			pj.holder = n.cfg.ID
-			n.deque = append(n.deque, rj.Job)
 		}
-	} else {
-		n.deque = append(n.deque, rj.Job)
+		n.mu.Unlock()
+		if !ok {
+			return // already completed elsewhere; drop the duplicate
+		}
 	}
-	n.mu.Unlock()
+	n.inbox.add(rj.Job)
 	n.wakeUp()
-}
-
-// countInterBytes books a received frame's wire bytes as inter-cluster
-// traffic when the sender sits in another cluster — the byte counts
-// behind the coordinator's achieved-bandwidth estimate, which feeds the
-// learned minimum-bandwidth requirement.
-func (n *Node) countInterBytes(m wire.Meta) {
-	if m.Bytes == 0 {
-		return
-	}
-	from := NodeID("")
-	if len(m.From) > len("satin:") {
-		from = NodeID(m.From[len("satin:"):])
-	}
-	if from == "" || from == n.cfg.ID {
-		return
-	}
-	n.mu.Lock()
-	reg := n.reg
-	n.mu.Unlock()
-	if reg == nil {
-		// A frame raced our own registry join; membership is unknown yet.
-		return
-	}
-	for _, mem := range reg.Members() {
-		if mem.ID == from {
-			if mem.Cluster != "" && mem.Cluster != n.cfg.Cluster {
-				n.mu.Lock()
-				n.acc.AddInterBytes(float64(m.Bytes))
-				n.mu.Unlock()
-			}
-			return
-		}
-	}
-}
-
-// reportLoop pushes per-period statistics to the coordinator.
-func (n *Node) reportLoop() {
-	defer n.wg.Done()
-	ticker := time.NewTicker(n.cfg.MonitorPeriod)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-n.stopCh:
-			return
-		case <-ticker.C:
-			wire.Send(n.wc, n.cfg.Coordinator, n.Report())
-		}
-	}
 }

@@ -1,0 +1,130 @@
+package satin
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/transport/wire"
+)
+
+// worker states (metrics buckets plus implicit idle)
+const stateIdle = -1
+
+// statsTracker is the node's accounting component: the per-period
+// metric buckets, the emulated competing load, and the benchmark
+// pacing flag. It has its own narrow lock so that snapshotting from
+// the report loop never serialises against job ownership under n.mu.
+type statsTracker struct {
+	mu           sync.Mutex
+	acc          *metrics.Accumulator
+	load         float64
+	curState     int
+	stateSince   time.Time
+	benchPending bool
+}
+
+func (s *statsTracker) init(cfg *NodeConfig) {
+	s.acc = metrics.NewAccumulator(cfg.ID, cfg.Cluster, 0)
+	s.curState = stateIdle
+	s.stateSince = time.Now()
+	s.benchPending = cfg.Bench != nil
+}
+
+func (s *statsTracker) setLoad(f float64) {
+	s.mu.Lock()
+	s.load = f
+	s.mu.Unlock()
+}
+
+func (s *statsTracker) benchDue() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.benchPending
+}
+
+func (s *statsTracker) clearBench() {
+	s.mu.Lock()
+	s.benchPending = false
+	s.mu.Unlock()
+}
+
+func (s *statsTracker) armBench() {
+	s.mu.Lock()
+	s.benchPending = true
+	s.mu.Unlock()
+}
+
+func (s *statsTracker) setSpeed(speed float64) {
+	s.mu.Lock()
+	s.acc.SetSpeed(speed)
+	s.mu.Unlock()
+}
+
+func (s *statsTracker) addInterBytes(b float64) {
+	s.mu.Lock()
+	s.acc.AddInterBytes(b)
+	s.mu.Unlock()
+}
+
+// enterState switches the accounting bucket. A competing load factor
+// stretches busy and benchmark intervals by sleeping, emulating
+// time-sharing with the load.
+func (s *statsTracker) enterState(next int) {
+	s.mu.Lock()
+	now := time.Now()
+	el := now.Sub(s.stateSince)
+	if s.load > 0 && el > 0 &&
+		(s.curState == int(metrics.Busy) || s.curState == int(metrics.Bench)) {
+		// Stretch the interval by sleeping outside the lock, then fold
+		// the stretched elapsed time in a second critical section.
+		load := s.load
+		s.mu.Unlock()
+		time.Sleep(time.Duration(float64(el) * load))
+		s.mu.Lock()
+		now = time.Now()
+		el = now.Sub(s.stateSince)
+	}
+	if s.curState >= 0 && el > 0 {
+		s.acc.Add(metrics.Bucket(s.curState), el.Seconds())
+	}
+	s.curState = next
+	s.stateSince = now
+	s.mu.Unlock()
+}
+
+// snapshot folds the in-progress state into the period and returns the
+// report.
+func (s *statsTracker) snapshot() metrics.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	el := now.Sub(s.stateSince).Seconds()
+	if s.curState >= 0 && el > 0 {
+		s.acc.Add(metrics.Bucket(s.curState), el)
+	}
+	s.stateSince = now
+	return s.acc.Snapshot(monotonicSeconds())
+}
+
+// Report snapshots the node's statistics for the elapsed period.
+func (n *Node) Report() metrics.Report { return n.stats.snapshot() }
+
+var startTime = time.Now()
+
+func monotonicSeconds() float64 { return time.Since(startTime).Seconds() }
+
+// reportLoop pushes per-period statistics to the coordinator.
+func (n *Node) reportLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.MonitorPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-ticker.C:
+			wire.Send(n.wc, n.cfg.Coordinator, n.Report())
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package satin
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/transport/wire"
+)
+
+// inbox funnels jobs that arrive OFF the worker goroutine — adopted
+// steal replies, returned jobs, reclaimed orphans, Submit roots — into
+// the worker's world. The lock-free deque has a single owner (the
+// worker); everyone else appends here and the worker drains between
+// tasks. Contention is rare (one entry per remote event, not per
+// spawn), so a plain mutex-guarded slice is the right tool.
+type inbox struct {
+	mu   sync.Mutex
+	size atomic.Int32 // mirror of len(jobs): the worker's lock-free emptiness probe
+	jobs []jobMsg
+}
+
+func (b *inbox) add(j jobMsg) {
+	b.mu.Lock()
+	b.jobs = append(b.jobs, j)
+	b.size.Store(int32(len(b.jobs)))
+	b.mu.Unlock()
+}
+
+func (b *inbox) drain() []jobMsg {
+	if b.size.Load() == 0 {
+		// The common case on the worker's pop path: nothing arrived, no
+		// lock taken. A racing add is not lost — its wakeUp lands after
+		// the append, so the worker re-polls.
+		return nil
+	}
+	b.mu.Lock()
+	js := b.jobs
+	b.jobs = nil
+	b.size.Store(0)
+	b.mu.Unlock()
+	return js
+}
+
+// steal takes the oldest inbox entry. Thieves fall back here when the
+// deque is empty: a Submit while the worker is pinned inside a task
+// must still be visible to idle peers (the inbox is not worker-only
+// the way the deque bottom is, so handing entries out is safe).
+func (b *inbox) steal() (jobMsg, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.jobs) == 0 {
+		return jobMsg{}, false
+	}
+	j := b.jobs[0]
+	b.jobs[0] = jobMsg{} // release the payload reference
+	b.jobs = b.jobs[1:]
+	b.size.Store(int32(len(b.jobs)))
+	return j, true
+}
+
+// drainInbox moves inbox arrivals onto the deque. Worker goroutine
+// only: pushing is an owner operation.
+func (n *Node) drainInbox() {
+	for _, j := range n.inbox.drain() {
+		n.jobs.Push(j)
+	}
+}
+
+// worker is the node's single computation goroutine: run a due speed
+// benchmark, else pop the newest job (work-first, splitting subtrees
+// down to leaves), else steal, else park until woken.
+func (n *Node) worker() {
+	defer n.wg.Done()
+	for {
+		n.mu.Lock()
+		stopped, leaving := n.stopped, n.leaving
+		n.mu.Unlock()
+		if stopped {
+			return
+		}
+		if leaving {
+			if n.tryFinishLeave() {
+				return
+			}
+		}
+		if n.stats.benchDue() {
+			n.runBench()
+			continue
+		}
+		if j, ok := n.popNewest(); ok {
+			n.executeJob(j)
+			continue
+		}
+		if leaving {
+			// Deque drained but self-owned work is still outstanding:
+			// wait for results (or reclaims) instead of spinning.
+			n.waitForWork(2 * time.Millisecond)
+			continue
+		}
+		if j, ok := n.trySteal(); ok {
+			n.executeJob(j)
+			continue
+		}
+		n.waitForWork(2 * time.Millisecond)
+	}
+}
+
+// popNewest takes the newest job: inbox arrivals first land on the
+// deque, then the bottom is popped. Worker goroutine only (owner
+// operations throughout) — Context.Sync qualifies, it runs inside
+// task code on the worker.
+func (n *Node) popNewest() (jobMsg, bool) {
+	n.drainInbox()
+	return n.jobs.PopBottom()
+}
+
+func (n *Node) wakeUp() {
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+}
+
+// enterState switches the worker's accounting bucket.
+func (n *Node) enterState(next int) { n.stats.enterState(next) }
+
+// waitForWork parks the worker briefly. Waiting on a wide-area steal
+// that should long have returned means the WAN path is congested,
+// which the monitoring must surface as inter-cluster overhead;
+// ordinary round-trip waits stay idle time.
+func (n *Node) waitForWork(d time.Duration) {
+	if n.stealer.eng.AsyncStalled(monotonicSeconds(), n.cfg.InterWaitThreshold.Seconds()) {
+		n.enterState(int(metrics.Inter))
+	} else {
+		n.enterState(stateIdle)
+	}
+	select {
+	case <-n.wake:
+	case <-time.After(d):
+	case <-n.stopCh:
+	}
+	n.enterState(stateIdle)
+}
+
+func (n *Node) executeJob(j jobMsg) {
+	n.enterState(int(metrics.Busy))
+	ctx := &Context{node: n}
+	val, err := safeExecute(j.Task, ctx)
+	n.enterState(stateIdle)
+	if errors.Is(err, errNodeStopped) {
+		// Execution was cut short by Kill: this is not a task result.
+		// Say nothing; the owner recomputes the job when the failure
+		// detector reports us dead.
+		return
+	}
+	if j.Owner == n.cfg.ID {
+		n.completeLocal(j.ID, val, err)
+		return
+	}
+	res := resultMsg{ID: j.ID, Value: val, Err: errString(err)}
+	if sendErr := wire.Send(n.wc, satinEP(j.Owner), res); sendErr != nil {
+		// Unregistered result type (the encode failure restarted the
+		// session): deliver the error instead so the owner's sync does
+		// not hang.
+		wire.Send(n.wc, satinEP(j.Owner), resultMsg{ID: j.ID, Err: sendErr.Error()})
+	}
+}
+
+// safeExecute converts panics in task code into errors; a crashing task
+// must not take the whole node down (the computation would deadlock).
+func safeExecute(t Task, ctx *Context) (val any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("satin: task panic: %v", r)
+		}
+	}()
+	return t.Execute(ctx)
+}
+
+// runBench runs the application-specific speed benchmark and re-arms
+// it at the frequency the overhead budget allows.
+func (n *Node) runBench() {
+	n.stats.clearBench()
+	bench := n.cfg.Bench
+	if bench == nil {
+		return
+	}
+	n.enterState(int(metrics.Bench))
+	start := time.Now()
+	ctx := &Context{node: n, benchMode: true}
+	_, _ = safeExecute(bench, ctx)
+	n.enterState(stateIdle)
+	dur := time.Since(start).Seconds()
+	if dur <= 0 {
+		dur = 1e-9
+	}
+	n.stats.setSpeed(n.cfg.BenchWork / dur)
+	interval := time.Duration(dur / n.cfg.BenchBudget * float64(time.Second))
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	time.AfterFunc(interval, func() {
+		n.mu.Lock()
+		rearm := !n.stopped && !n.leaving
+		n.mu.Unlock()
+		if rearm {
+			n.stats.armBench()
+		}
+		n.wakeUp()
+	})
+}
