@@ -29,9 +29,11 @@ gridsim:
 
 # Deque/steal/runtime microbenchmarks (one iteration each: a smoke run
 # that proves every benchmark still compiles and executes; for timing
-# numbers use -benchtime/-count as in EXPERIMENTS.md).
+# numbers use -benchtime/-count as in EXPERIMENTS.md), followed by the
+# JSON baseline harness CI archives per PR (cmd/bench).
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -count=1 ./internal/deque ./internal/steal ./satin
+	$(GO) run ./cmd/bench -out BENCH_5.json
 
 # Chaos harness: the full seeded scenario corpus (24 randomized
 # DES scenarios), the fault-transport unit tests, and the live-runtime

@@ -21,6 +21,7 @@ import (
 	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/transport"
 	"repro/internal/transport/wire"
@@ -84,6 +85,11 @@ type Config struct {
 	Protected []NodeID
 	// MonitorOnly computes and records but never acts ("runtime 3").
 	MonitorOnly bool
+	// Observer, when set, receives every period record right after it is
+	// appended to History — the hook the observability recorder hangs on.
+	// Called from the coordinator's tick goroutine outside any lock;
+	// keep it fast and never call back into the coordinator.
+	Observer func(PeriodRecord)
 }
 
 // PeriodRecord is one coordinator tick, kept for inspection. It is the
@@ -249,6 +255,9 @@ func (c *Coordinator) tick() {
 	c.mu.Lock()
 	c.history = append(c.history, rec)
 	c.mu.Unlock()
+	if c.cfg.Observer != nil {
+		c.cfg.Observer(rec)
+	}
 }
 
 // runtimeActuator applies the kernel's effects through the real
@@ -258,7 +267,11 @@ func (c *Coordinator) tick() {
 type runtimeActuator struct{ c *Coordinator }
 
 func (a runtimeActuator) Provision(n int, minBandwidth float64, veto coord.Veto) int {
-	return a.c.prov.Provision(n, minBandwidth, veto)
+	got := a.c.prov.Provision(n, minBandwidth, veto)
+	if got > 0 {
+		obs.Default.Counter("adapt/provisioned").Add(uint64(got))
+	}
+	return got
 }
 
 // Evict signals each victim to leave; a node whose signal fails (e.g.
@@ -271,6 +284,9 @@ func (a runtimeActuator) Evict(victims []NodeID, reason string) []NodeID {
 			continue
 		}
 		evicted = append(evicted, id)
+	}
+	if len(evicted) > 0 {
+		obs.Default.Counter("adapt/evicted").Add(uint64(len(evicted)))
 	}
 	return evicted
 }

@@ -1,0 +1,276 @@
+// Command bench runs the repo's performance baselines programmatically
+// and writes them as one JSON document, so CI can archive a comparable
+// per-PR artifact (BENCH_5.json) without parsing `go test -bench`
+// output:
+//
+//   - deque: lock-free Chase–Lev push/pop (the spawn/sync hot path)
+//   - steal_kernel: one CRS Next/SyncDone round against a 16-node view
+//   - wire_roundtrip: a typed frame through the session codec and an
+//     ideal in-process fabric
+//   - spawn_sync: end-to-end spawn+execute+sync of 256 children on one
+//     live satin node
+//   - fib_e2e: fib(20) across 2 clusters x 2 nodes — steals, WAN
+//     emulation and accounting included
+//
+// Usage: bench [-out BENCH_5.json] [-skip-e2e]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/deque"
+	"repro/internal/registry"
+	"repro/internal/steal"
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+	"repro/satin"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type document struct {
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	UnixTime   int64    `json:"unix_time"`
+	Results    []result `json:"results"`
+}
+
+// spawnN spawns N trivial children and syncs (mirrors the satin
+// package's internal spawn/sync benchmark).
+type spawnN struct{ N int }
+
+func (s spawnN) Execute(ctx *satin.Context) (any, error) {
+	for i := 0; i < s.N; i++ {
+		ctx.Spawn(nop{})
+	}
+	return s.N, ctx.Sync()
+}
+
+type nop struct{}
+
+func (nop) Execute(*satin.Context) (any, error) { return nil, nil }
+
+// benchPayload mirrors the shape of satin's steal-reply message.
+type benchPayload struct {
+	Seq    uint64
+	HasJob bool
+	ID     uint64
+	Owner  string
+	Args   [4]int
+}
+
+func init() {
+	satin.Register(spawnN{})
+	satin.Register(nop{})
+	wire.Register[benchPayload]("bench-payload")
+}
+
+func fastReg() registry.Options {
+	return registry.Options{
+		HeartbeatInterval: 20 * time.Millisecond,
+		FailureTimeout:    100 * time.Millisecond,
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_5.json", "output JSON path (- for stdout)")
+	skipE2E := flag.Bool("skip-e2e", false, "skip the multi-node end-to-end benchmarks")
+	flag.Parse()
+
+	doc := document{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		UnixTime:   time.Now().Unix(),
+	}
+	run := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		doc.Results = append(doc.Results, result{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "bench %-16s %10d iters %12.1f ns/op\n",
+			name, r.N, float64(r.T.Nanoseconds())/float64(r.N))
+	}
+
+	run("deque", benchDeque)
+	run("steal_kernel", benchStealKernel)
+	run("wire_roundtrip", benchWireRoundTrip)
+	if !*skipE2E {
+		run("spawn_sync", benchSpawnSync)
+		run("fib_e2e", benchFibE2E)
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (%d results)\n", *out, len(doc.Results))
+}
+
+// benchDeque: one op = push then pop at the owner end.
+func benchDeque(b *testing.B) {
+	d := deque.New[int]()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Push(i)
+		if _, ok := d.PopBottom(); !ok {
+			b.Fatal("deque lost an element")
+		}
+	}
+}
+
+// benchStealKernel: one op = one CRS round (Next + settle both slots)
+// against a fixed 16-node, 2-cluster membership snapshot.
+func benchStealKernel(b *testing.B) {
+	members := make([]steal.Member, 0, 16)
+	for i := 0; i < 16; i++ {
+		cl := core.ClusterID("c0")
+		if i >= 8 {
+			cl = "c1"
+		}
+		members = append(members, steal.Member{
+			ID: core.NodeID(fmt.Sprintf("n%02d", i)), Cluster: cl,
+		})
+	}
+	eng := steal.New(steal.CRS, "n00", "c0", 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := eng.Next(float64(i), members)
+		if d.Sync != nil {
+			eng.SyncDone(false)
+		}
+		if d.Async != nil {
+			eng.AsyncDone(false)
+		}
+	}
+}
+
+// benchWireRoundTrip: one op = one typed frame encoded, delivered
+// through an ideal in-process fabric, decoded and dispatched.
+func benchWireRoundTrip(b *testing.B) {
+	f := transport.NewInProc(nil)
+	defer f.Close()
+	epA, err := f.Endpoint("a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	epB, err := f.Endpoint("b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ca, cb := wire.New(epA), wire.New(epB)
+	done := make(chan struct{}, 1)
+	wire.Handle(cb, func(v benchPayload, _ wire.Meta) { done <- struct{}{} })
+	v := benchPayload{Seq: 42, HasJob: true, ID: 7, Owner: "fs0/03", Args: [4]int{1, 2, 3, 4}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wire.Send(ca, "b", v); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+	}
+}
+
+// benchSpawnSync: one op = a task spawning 256 trivial children and
+// syncing on one live node.
+func benchSpawnSync(b *testing.B) {
+	g, err := satin.NewGrid(satin.GridConfig{
+		Clusters: []satin.ClusterSpec{{Name: "c0", Nodes: 1}},
+		Registry: fastReg(),
+		Node:     satin.NodeConfig{Registry: fastReg()},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	nodes, err := g.StartNodes("c0", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := nodes[0]
+	if _, err := n.Run(spawnN{N: 1}); err != nil { // warm up
+		b.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Run(spawnN{N: 256}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFibE2E: one op = fib(20) with sequential cutoff 12 across 2
+// clusters x 2 nodes — the whole runtime including steals and the
+// emulated WAN.
+func benchFibE2E(b *testing.B) {
+	g, err := satin.NewGrid(satin.GridConfig{
+		Clusters: []satin.ClusterSpec{
+			{Name: "fs0", Nodes: 2},
+			{Name: "fs1", Nodes: 2},
+		},
+		Registry: fastReg(),
+		Seed:     42,
+		Node:     satin.NodeConfig{Registry: fastReg()},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	for _, c := range []satin.ClusterID{"fs0", "fs1"} {
+		if _, err := g.StartNodes(c, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	n := g.Node("fs0/00")
+	want := apps.FibLeaves(20)
+	task := apps.Fib{N: 20, SeqCutoff: 12}
+	if _, err := n.Run(apps.Fib{N: 12, SeqCutoff: 12}); err != nil { // warm up
+		b.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := n.Run(task)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.(int) != want {
+			b.Fatalf("fib(20) = %v, want %d", v, want)
+		}
+	}
+}

@@ -16,9 +16,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/des"
 	"repro/internal/expt"
+	"repro/internal/obs"
+	"repro/internal/record"
 	"repro/internal/trace"
 )
 
@@ -30,8 +33,21 @@ func main() {
 		svgDir   = flag.String("svg", "", "directory to write per-scenario figure SVGs")
 		periods  = flag.Bool("periods", false, "print the adaptive coordinator's period log")
 		list     = flag.Bool("list", false, "list scenarios and exit")
+		obsAddr  = flag.String("obs-addr", "", "serve /metrics (Prometheus), /events (JSONL) and /debug/pprof on this address while scenarios run")
 	)
 	flag.Parse()
+
+	var rec *record.Recorder
+	if *obsAddr != "" {
+		rec = record.New(8192, 1024)
+		srv, err := record.Serve(*obsAddr, obs.Default, rec, time.Second)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: obs endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability endpoint on http://%s\n", srv.Addr())
+	}
 
 	if *list {
 		for _, sc := range expt.All() {
@@ -65,6 +81,20 @@ func main() {
 		na := out.Results[expt.NoAdapt]
 		ad := out.Results[expt.Adaptive]
 		mo := out.Results[expt.MonitorOnly]
+		if rec != nil {
+			// Re-emit the adaptive run on the recorder's event axis at
+			// the simulator's own virtual timestamps.
+			rec.Record("scenario", map[string]any{"id": sc.ID, "name": sc.Name})
+			for _, pr := range ad.Periods {
+				rec.RecordAt(pr.Time, "period", pr)
+				if pr.Action != "" && pr.Action != "none" {
+					rec.RecordAt(pr.Time, "decision", pr)
+				}
+			}
+			for _, an := range ad.Annotations {
+				rec.RecordAt(an.Time, "annotation", an)
+			}
+		}
 		rows = append(rows, trace.RuntimeRow{
 			Label:       fmt.Sprintf("%s %s", sc.ID, sc.Name),
 			NoAdapt:     na.Runtime,

@@ -26,6 +26,7 @@ import (
 	"repro/adapt"
 	"repro/internal/apps"
 	"repro/internal/obs"
+	"repro/internal/record"
 	"repro/internal/trace"
 	"repro/satin"
 )
@@ -43,11 +44,22 @@ func main() {
 		load     = flag.String("load", "", "competing CPU load on a cluster: fs1=3")
 		verbose  = flag.Bool("v", false, "print per-node statistics")
 		wireObs  = flag.Bool("wire-stats", false, "print the wire-layer frame/byte/error counters")
+		obsAddr  = flag.String("obs-addr", "", "serve /metrics (Prometheus), /events (JSONL) and /debug/pprof on this address (e.g. :9090; :0 picks a port)")
 	)
 	flag.Parse()
 	// Counters are also exported as the expvar "obs" for anything that
 	// scrapes this process.
 	obs.Publish()
+	var rec *record.Recorder
+	if *obsAddr != "" {
+		rec = record.New(4096, 1024)
+		srv, err := record.Serve(*obsAddr, obs.Default, rec, time.Second)
+		if err != nil {
+			log.Fatalf("satinrun: obs endpoint: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("observability endpoint on http://%s (/metrics /events /samples /debug/pprof)\n", srv.Addr())
+	}
 	if *clusters < 1 || *nodes < 1 || *iters < 1 {
 		fmt.Fprintln(os.Stderr, "satinrun: -clusters, -nodes and -iters must be >= 1")
 		os.Exit(2)
@@ -81,10 +93,22 @@ func main() {
 
 	var coord *adapt.Coordinator
 	if *adaptOn {
-		coord, err = adapt.Start(g.Fabric(), g, adapt.Config{
+		cfg := adapt.Config{
 			Period:    *period,
 			Protected: []adapt.NodeID{master.ID()},
-		})
+		}
+		if rec != nil {
+			// Every period becomes a structured event; decisions get
+			// their own kind so `grep '"decision"'` over /events is the
+			// adaptation timeline.
+			cfg.Observer = func(pr adapt.PeriodRecord) {
+				rec.RecordAt(pr.Time, "period", pr)
+				if pr.Action != "" && pr.Action != "none" {
+					rec.RecordAt(pr.Time, "decision", pr)
+				}
+			}
+		}
+		coord, err = adapt.Start(g.Fabric(), g, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -93,6 +117,12 @@ func main() {
 	applyDisturbance(g, *shape, *load)
 
 	task, check := buildTask(*app, *size)
+	if rec != nil {
+		rec.Record("run", map[string]any{
+			"app": *app, "size": *size, "clusters": *clusters,
+			"nodes": *nodes, "iters": *iters, "adapt": *adaptOn,
+		})
+	}
 	fmt.Printf("%s(size %d) on %d nodes in %d clusters, %d iteration(s)\n",
 		*app, *size, *clusters**nodes, *clusters, *iters)
 	total := time.Duration(0)
@@ -104,6 +134,11 @@ func main() {
 		}
 		el := time.Since(start)
 		total += el
+		if rec != nil {
+			rec.Record("iteration", map[string]any{
+				"i": i, "seconds": el.Seconds(), "nodes": g.NodeCount(),
+			})
+		}
 		ok := ""
 		if check != nil {
 			if check(val) {

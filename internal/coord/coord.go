@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Veto is the scheduler-side filter derived from the learned
@@ -127,6 +128,33 @@ type Kernel struct {
 	// heavy-tailed per-period noise of a few large job transfers.
 	prevStats map[core.NodeID]core.NodeStats
 	protected map[core.NodeID]bool
+
+	ins kernelInstruments
+}
+
+// kernelInstruments caches the obs instruments Tick touches, resolved
+// once at kernel construction so the tick path never takes the
+// registry lock.
+type kernelInstruments struct {
+	ticks     *obs.Counter
+	smoothed  *obs.Counter
+	resets    *obs.Counter
+	wae       *obs.Gauge
+	liveNodes *obs.Gauge
+	reported  *obs.Gauge
+	periodWAE *obs.Histogram
+}
+
+func newKernelInstruments() kernelInstruments {
+	return kernelInstruments{
+		ticks:     obs.Default.Counter("coord/ticks"),
+		smoothed:  obs.Default.Counter("coord/smoothed_reports"),
+		resets:    obs.Default.Counter("coord/post_action_resets"),
+		wae:       obs.Default.Gauge("coord/wae"),
+		liveNodes: obs.Default.Gauge("coord/live_nodes"),
+		reported:  obs.Default.Gauge("coord/reported_nodes"),
+		periodWAE: obs.Default.Histogram("coord/period_wae", obs.WAEBuckets),
+	}
 }
 
 // New builds a Kernel. cfg.Engine is validated when present.
@@ -144,6 +172,7 @@ func New(cfg Config, act Actuator) (*Kernel, error) {
 		reports:   make(map[core.NodeID]metrics.Report),
 		prevStats: make(map[core.NodeID]core.NodeStats),
 		protected: make(map[core.NodeID]bool),
+		ins:       newKernelInstruments(),
 	}
 	if cfg.Engine != nil {
 		eng, err := core.NewEngine(*cfg.Engine)
@@ -248,6 +277,7 @@ func (k *Kernel) Tick(now float64, live []core.NodeID) PeriodRecord {
 		next[id] = cur
 		if prev, ok := k.prevStats[id]; ok {
 			cur = smooth(cur, prev)
+			k.ins.smoothed.Inc()
 		}
 		stats = append(stats, cur)
 	}
@@ -259,6 +289,26 @@ func (k *Kernel) Tick(now float64, live []core.NodeID) PeriodRecord {
 		Nodes: len(live),
 		Stats: len(stats),
 	}
+	k.ins.ticks.Inc()
+	k.ins.liveNodes.Set(float64(len(live)))
+	k.ins.reported.Set(float64(len(stats)))
+	if len(stats) > 0 {
+		k.ins.wae.Set(rec.WAE)
+		k.ins.periodWAE.Observe(rec.WAE)
+	}
+	defer func() {
+		// "none" periods are already counted by coord/ticks; only real
+		// decisions get a per-action counter.
+		if rec.Action != "" && rec.Action != "none" {
+			obs.Default.Counter("coord/decision/" + rec.Action).Inc()
+		}
+		if rec.Added > 0 {
+			obs.Default.Counter("coord/nodes_added").Add(uint64(rec.Added))
+		}
+		if rec.Removed > 0 {
+			obs.Default.Counter("coord/nodes_removed").Add(uint64(rec.Removed))
+		}
+	}()
 	if k.eng == nil || k.cfg.MonitorOnly {
 		if len(stats) > 0 {
 			rec.Detail = fmt.Sprintf("monitor only: WAE %.3f on %d nodes", rec.WAE, len(stats))
@@ -353,6 +403,7 @@ func (k *Kernel) Tick(now float64, live []core.NodeID) PeriodRecord {
 		// smoothing window, whose previous period is just as stale.
 		k.reports = make(map[core.NodeID]metrics.Report)
 		k.prevStats = make(map[core.NodeID]core.NodeStats)
+		k.ins.resets.Inc()
 	}
 	return rec
 }

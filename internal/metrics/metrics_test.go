@@ -198,3 +198,62 @@ func TestLinkSamplePanicsOnNegative(t *testing.T) {
 	}()
 	a.AddLinkSample("B", -1, 5)
 }
+
+// TestZeroLengthPeriod: a snapshot taken at the exact period start (a
+// coordinator tick racing a node's own report) must not divide by zero
+// — fractions come back zero and the carried speed survives.
+func TestZeroLengthPeriod(t *testing.T) {
+	a := NewAccumulator("n", "c", 10)
+	a.SetSpeed(123)
+	r := a.Snapshot(10)
+	if r.Duration() != 0 {
+		t.Fatalf("duration = %g, want 0", r.Duration())
+	}
+	s := r.Stats()
+	if s.Idle != 0 || s.IntraComm != 0 || s.InterComm != 0 {
+		t.Fatalf("zero-length period produced fractions: %+v", s)
+	}
+	if s.Speed != 123 {
+		t.Fatalf("speed = %g, want 123 (must survive an empty period)", s.Speed)
+	}
+	// The next period starts where the empty one ended.
+	a.Add(Busy, 1)
+	r2 := a.Snapshot(12)
+	if r2.Start != 10 || r2.BusySec != 1 {
+		t.Fatalf("period after empty snapshot = %+v", r2)
+	}
+}
+
+// TestOverFullPeriod: activities straddling the boundary are attributed
+// to the period they complete in, which can overfill it. Idle must
+// clamp to zero (never negative) and the fractions to one.
+func TestOverFullPeriod(t *testing.T) {
+	a := NewAccumulator("n", "c", 0)
+	a.Add(Busy, 3)
+	a.Add(Inter, 2)
+	r := a.Snapshot(4) // 5s of activity in a 4s period
+	if r.IdleSec != 0 {
+		t.Fatalf("idle = %g, want 0 (clamped)", r.IdleSec)
+	}
+	s := r.Stats()
+	if s.InterComm != 0.5 {
+		t.Fatalf("inter fraction = %g, want 0.5", s.InterComm)
+	}
+	// A single bucket larger than the whole period clamps at 1.
+	a.Add(Inter, 9)
+	r2 := a.Snapshot(8)
+	if got := r2.Stats().InterComm; got != 1 {
+		t.Fatalf("overfull inter fraction = %g, want 1", got)
+	}
+}
+
+// TestSnapshotBeforeStartPanics pins the time-goes-backwards guard.
+func TestSnapshotBeforeStartPanics(t *testing.T) {
+	a := NewAccumulator("n", "c", 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("snapshot before period start accepted")
+		}
+	}()
+	a.Snapshot(9)
+}

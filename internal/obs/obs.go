@@ -1,15 +1,18 @@
-// Package obs is the runtime's counter spine: a tiny registry of named
-// monotonic counters the messaging substrate feeds automatically
-// (frames, bytes, decode errors — per message kind and per directed
-// cluster pair) and the chaos harness reads back, so injected
-// corruption or duplication is accounted for instead of vanishing.
+// Package obs is the runtime's metric spine: a registry of named
+// monotonic counters, gauges and fixed-bucket histograms that the
+// messaging substrate, the steal path and the adaptation kernel feed,
+// and that the chaos harness, the recorder (internal/record) and the
+// binaries read back — so injected corruption, steal latency and
+// per-period efficiency are accounted for instead of vanishing.
 //
-// Layering rule: obs depends on nothing but the standard library. The
-// wire layer feeds it; chaos tests and the binaries read it. Nothing
-// in here may import another repro package.
+// Layering rule: obs depends on nothing but the standard library. Any
+// package may feed it; internal/record samples it; exporters
+// (WriteText, WritePrometheus, expvar) render it. Nothing in here may
+// import another repro package.
 //
-// The hot path is allocation-free: callers resolve a *Counter once
-// (registration time, session setup) and then only touch its atomic.
+// The hot path is allocation-free: callers resolve a *Counter /
+// *Gauge / *Histogram once (registration time, session setup) and
+// then only touch its atomics.
 package obs
 
 import (
@@ -36,16 +39,23 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
-// Registry holds named counters. Counter resolution takes a lock and
-// may allocate; keep the returned pointer and bump it lock-free.
+// Registry holds named counters, gauges and histograms. Instrument
+// resolution takes a lock and may allocate; keep the returned pointer
+// and touch its atomics lock-free.
 type Registry struct {
 	mu sync.RWMutex
 	m  map[string]*Counter
+	g  map[string]*Gauge
+	h  map[string]*Histogram
 }
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{m: make(map[string]*Counter)}
+	return &Registry{
+		m: make(map[string]*Counter),
+		g: make(map[string]*Gauge),
+		h: make(map[string]*Histogram),
+	}
 }
 
 // Default is the process-wide registry the wire layer feeds.

@@ -1,0 +1,101 @@
+package record
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Server is the observability endpoint both binaries can expose:
+//
+//	/metrics       — the obs registry in Prometheus text format
+//	/events        — the recorder's structured events as JSONL
+//	/samples       — the recorder's registry samples as JSONL
+//	/debug/pprof/  — the stdlib profiler
+//
+// It also runs the background sampler that feeds the recorder's
+// time-series ring from the registry.
+type Server struct {
+	rec  *Recorder
+	reg  *obs.Registry
+	srv  *http.Server
+	ln   net.Listener
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Serve starts the endpoint on addr (":0" picks a free port — read it
+// back with Addr). samplePeriod is the registry sampling interval; 0
+// disables the background sampler.
+func Serve(addr string, reg *obs.Registry, rec *Recorder, samplePeriod time.Duration) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		rec:  rec,
+		reg:  reg,
+		ln:   ln,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/events", s.events)
+	mux.HandleFunc("/samples", s.samples)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	go s.sampler(samplePeriod)
+	return s, nil
+}
+
+// Addr returns the listening address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the sampler and the HTTP server.
+func (s *Server) Close() {
+	close(s.stop)
+	<-s.done
+	s.srv.Close()
+}
+
+func (s *Server) sampler(period time.Duration) {
+	defer close(s.done)
+	if period <= 0 {
+		<-s.stop
+		return
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.rec.Sample(s.reg)
+		}
+	}
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+func (s *Server) events(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = s.rec.WriteEventsJSONL(w)
+}
+
+func (s *Server) samples(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = s.rec.WriteSamplesJSONL(w)
+}

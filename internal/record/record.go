@@ -1,0 +1,180 @@
+// Package record is the time-series layer between the obs registry and
+// the exporters: a ring-buffered recorder that keeps (a) structured
+// events — coordinator period records, adaptation decisions, run
+// annotations — and (b) periodic samples of the whole obs registry, so
+// a run's metric trajectory can be exported (JSONL, or scraped as
+// Prometheus text via the bundled HTTP server) without ever growing
+// unboundedly.
+//
+// Layering: obs depends on nothing; record depends on obs (it samples
+// registries) and stdlib; the binaries wire a Recorder to their
+// coordinator and serve it. Runtime packages never import record —
+// they feed obs, and the event feed goes through plain callbacks
+// (adapt.Config.Observer), so the hot paths stay free of JSON and
+// HTTP.
+package record
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Event is one structured occurrence on the run's time axis. Data is
+// marshalled as-is into the JSONL export; keep it a plain struct or
+// map.
+type Event struct {
+	Time float64 `json:"t"`
+	Kind string  `json:"kind"`
+	Data any     `json:"data,omitempty"`
+}
+
+// Sample is one snapshot of an obs registry.
+type Sample struct {
+	Time     float64            `json:"t"`
+	Counters map[string]uint64  `json:"counters,omitempty"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+}
+
+// Recorder keeps bounded rings of events and samples. Safe for
+// concurrent use.
+type Recorder struct {
+	start time.Time
+
+	mu            sync.Mutex
+	events        ring[Event]
+	samples       ring[Sample]
+	eventsDropped uint64
+}
+
+// New builds a recorder holding at most eventCap events and sampleCap
+// samples; the oldest entries are overwritten when a ring is full
+// (the drop is counted, never silent).
+func New(eventCap, sampleCap int) *Recorder {
+	return &Recorder{
+		start:   time.Now(),
+		events:  newRing[Event](eventCap),
+		samples: newRing[Sample](sampleCap),
+	}
+}
+
+// Now returns the recorder's clock: seconds since New.
+func (r *Recorder) Now() float64 { return time.Since(r.start).Seconds() }
+
+// Record appends an event stamped with the recorder's own clock.
+func (r *Recorder) Record(kind string, data any) {
+	r.RecordAt(r.Now(), kind, data)
+}
+
+// RecordAt appends an event with an explicit timestamp (e.g. a
+// simulator's virtual time or a coordinator's period time).
+func (r *Recorder) RecordAt(t float64, kind string, data any) {
+	r.mu.Lock()
+	if r.events.full() {
+		r.eventsDropped++
+	}
+	r.events.push(Event{Time: t, Kind: kind, Data: data})
+	r.mu.Unlock()
+}
+
+// Sample snapshots reg into the sample ring.
+func (r *Recorder) Sample(reg *obs.Registry) {
+	s := Sample{Time: r.Now(), Counters: reg.Snapshot(), Gauges: reg.Gauges()}
+	r.mu.Lock()
+	r.samples.push(s)
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.events.all()
+}
+
+// Samples returns the retained samples, oldest first.
+func (r *Recorder) Samples() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.samples.all()
+}
+
+// EventsDropped reports how many events were overwritten by ring
+// wraparound.
+func (r *Recorder) EventsDropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.eventsDropped
+}
+
+// WriteEventsJSONL writes the retained events as one JSON object per
+// line. When wraparound has dropped events, the first line says so.
+func (r *Recorder) WriteEventsJSONL(w io.Writer) error {
+	r.mu.Lock()
+	events := r.events.all()
+	dropped := r.eventsDropped
+	r.mu.Unlock()
+	if dropped > 0 {
+		if _, err := fmt.Fprintf(w, `{"kind":"dropped","count":%d}`+"\n", dropped); err != nil {
+			return err
+		}
+	}
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSamplesJSONL writes the retained registry samples as JSONL.
+func (r *Recorder) WriteSamplesJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range r.Samples() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ring is a fixed-capacity overwrite-oldest buffer.
+type ring[T any] struct {
+	buf  []T
+	next int
+	n    int // entries held, <= len(buf)
+}
+
+func newRing[T any](capacity int) ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return ring[T]{buf: make([]T, capacity)}
+}
+
+func (r *ring[T]) full() bool { return r.n == len(r.buf) }
+
+func (r *ring[T]) push(v T) {
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+func (r *ring[T]) all() []T {
+	out := make([]T, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}

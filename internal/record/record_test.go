@@ -1,0 +1,181 @@
+package record
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestRingWraparound(t *testing.T) {
+	r := New(3, 3)
+	for i := 0; i < 5; i++ {
+		r.RecordAt(float64(i), "e", i)
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("kept %d events, want 3", len(evs))
+	}
+	for i, want := range []float64{2, 3, 4} {
+		if evs[i].Time != want {
+			t.Fatalf("event %d at t=%g, want %g (oldest-first order lost)", i, evs[i].Time, want)
+		}
+	}
+	if got := r.EventsDropped(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+}
+
+func TestEventsJSONL(t *testing.T) {
+	r := New(2, 2)
+	r.RecordAt(1, "period", map[string]any{"wae": 0.4})
+	r.RecordAt(2, "decision", map[string]any{"action": "add"})
+	r.RecordAt(3, "period", map[string]any{"wae": 0.5})
+
+	var sb strings.Builder
+	if err := r.WriteEventsJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	// Ring of 2 with 3 records: a leading "dropped" line plus 2 events.
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines: %q", len(lines), lines)
+	}
+	var drop struct {
+		Kind  string `json:"kind"`
+		Count uint64 `json:"count"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &drop); err != nil {
+		t.Fatal(err)
+	}
+	if drop.Kind != "dropped" || drop.Count != 1 {
+		t.Fatalf("first line = %+v, want dropped/1", drop)
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[2]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != "period" || ev.Time != 3 {
+		t.Fatalf("last event = %+v", ev)
+	}
+}
+
+func TestSample(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("a/b").Add(7)
+	reg.Gauge("g/x").Set(1.5)
+	r := New(4, 4)
+	r.Sample(reg)
+	ss := r.Samples()
+	if len(ss) != 1 {
+		t.Fatalf("samples = %d, want 1", len(ss))
+	}
+	if ss[0].Counters["a/b"] != 7 || ss[0].Gauges["g/x"] != 1.5 {
+		t.Fatalf("sample = %+v", ss[0])
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("x/hits").Add(3)
+	reg.Histogram("x/rtt", []float64{1}).Observe(0.5)
+	rec := New(16, 16)
+	rec.Record("run", map[string]any{"app": "fib"})
+
+	srv, err := Serve("127.0.0.1:0", reg, rec, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type = %q", ctype)
+	}
+	for _, want := range []string{
+		`repro_counter{name="x/hits"} 3`,
+		`repro_hist_count{name="x/rtt"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	body, ctype = get("/events")
+	if ctype != "application/x-ndjson" {
+		t.Fatalf("/events content type = %q", ctype)
+	}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	found := false
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if ev.Kind == "run" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/events missing the run event:\n%s", body)
+	}
+
+	// The background sampler must have fed the sample ring by now.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(rec.Samples()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	body, _ = get("/samples")
+	if !strings.Contains(body, `"x/hits":3`) {
+		t.Fatalf("/samples missing sampled counter:\n%s", body)
+	}
+
+	if body, _ = get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:bad", obs.NewRegistry(), New(1, 1), 0); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestRecorderClockMonotonic(t *testing.T) {
+	r := New(4, 4)
+	a := r.Now()
+	time.Sleep(5 * time.Millisecond)
+	if b := r.Now(); b <= a {
+		t.Fatalf("clock went backwards: %g then %g", a, b)
+	}
+	// Record uses the same clock.
+	r.Record("x", nil)
+	ev := r.Events()[0]
+	if ev.Time <= 0 {
+		t.Fatalf("event at t=%g, want > 0", ev.Time)
+	}
+	_ = fmt.Sprintf("%v", ev)
+}

@@ -23,6 +23,18 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Process-global attempt counters, complementing each engine's
+// per-node Stats: the observability endpoint reads these without
+// enumerating engines. Resolved once; Next/done touch only atomics.
+var (
+	obsSyncLocal = obs.Default.Counter("steal/sync_local_attempts")
+	obsSyncWide  = obs.Default.Counter("steal/sync_wide_attempts")
+	obsAsync     = obs.Default.Counter("steal/async_attempts")
+	obsHits      = obs.Default.Counter("steal/hits")
+	obsMisses    = obs.Default.Counter("steal/misses")
 )
 
 // Policy selects the victim-selection algorithm.
@@ -136,8 +148,10 @@ func (e *Engine) Next(now float64, members []Member) Directive {
 		d.SyncWide = v.Cluster != e.cluster
 		if d.SyncWide {
 			e.stats.SyncWide++
+			obsSyncWide.Inc()
 		} else {
 			e.stats.SyncLocal++
+			obsSyncLocal.Inc()
 		}
 		return d
 	}
@@ -160,12 +174,14 @@ func (e *Engine) Next(now float64, members []Member) Directive {
 		e.asyncOut = true
 		e.asyncSince = now
 		e.stats.Async++
+		obsAsync.Inc()
 		d.Async = &v
 	}
 	if !e.syncOut && len(locals) > 0 {
 		v := locals[e.rng.Intn(len(locals))]
 		e.syncOut = true
 		e.stats.SyncLocal++
+		obsSyncLocal.Inc()
 		d.Sync = &v
 	}
 	return d
@@ -185,8 +201,10 @@ func (e *Engine) done(slot *bool, got bool) {
 	if got {
 		e.failStreak = 0
 		e.stats.Hits++
+		obsHits.Inc()
 	} else {
 		e.failStreak++
+		obsMisses.Inc()
 	}
 }
 

@@ -118,6 +118,12 @@ func NewGrid(cfg GridConfig) (*Grid, error) {
 		shaped: make(map[ClusterID]float64),
 		load:   make(map[ClusterID]float64),
 	}
+	if g.cfg.Node.Epoch.IsZero() {
+		// One shared report-timeline origin for every node this grid
+		// starts, including later Provisions — per grid, never
+		// process-wide.
+		g.cfg.Node.Epoch = time.Now()
+	}
 	g.inproc = transport.NewInProc(g.link)
 	g.fabric = g.inproc
 	if cfg.WrapFabric != nil {

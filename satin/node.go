@@ -23,6 +23,13 @@ type NodeConfig struct {
 	// Registry tunes membership heartbeats and failure detection.
 	Registry registry.Options
 
+	// Epoch is the origin of the node's report timeline (Report.Start/
+	// End are seconds since it). NewGrid stamps one shared epoch onto
+	// every node it starts so their periods line up; zero means "this
+	// node's start time". It is per grid, never process-wide: two grids
+	// in one process must not share a timeline.
+	Epoch time.Time
+
 	// Coordinator, when set, is the endpoint name the node sends its
 	// per-period statistics reports to (the adaptation coordinator).
 	Coordinator string

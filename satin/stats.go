@@ -1,35 +1,58 @@
 package satin
 
 import (
+	"log"
 	"sync"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/transport/wire"
 )
 
 // worker states (metrics buckets plus implicit idle)
 const stateIdle = -1
 
+// Process-global observability instruments fed by every node's report
+// loop. Queue depth is also published per node as a gauge so the
+// endpoint shows the imbalance CRS is supposed to erase.
+var (
+	obsReportErr  = obs.Default.Counter("satin/report_err")
+	obsReportSent = obs.Default.Counter("satin/report_sent")
+	obsQueueDepth = obs.Default.Histogram("satin/queue_depth", obs.DepthBuckets)
+)
+
 // statsTracker is the node's accounting component: the per-period
 // metric buckets, the emulated competing load, and the benchmark
 // pacing flag. It has its own narrow lock so that snapshotting from
 // the report loop never serialises against job ownership under n.mu.
 type statsTracker struct {
+	epoch time.Time // monotonic origin for this node's report timeline
+
 	mu           sync.Mutex
 	acc          *metrics.Accumulator
 	load         float64
 	curState     int
-	stateSince   time.Time
+	stateSince   time.Time // fold origin: advanced by every fold (enterState AND snapshot)
+	stateEntered time.Time // true state entry: advanced only by enterState
 	benchPending bool
 }
 
 func (s *statsTracker) init(cfg *NodeConfig) {
+	s.epoch = cfg.Epoch
+	if s.epoch.IsZero() {
+		s.epoch = time.Now()
+	}
 	s.acc = metrics.NewAccumulator(cfg.ID, cfg.Cluster, 0)
 	s.curState = stateIdle
-	s.stateSince = time.Now()
+	now := time.Now()
+	s.stateSince = now
+	s.stateEntered = now
 	s.benchPending = cfg.Bench != nil
 }
+
+// monotonic is the node's report clock: seconds since its grid epoch.
+func (s *statsTracker) monotonic() float64 { return time.Since(s.epoch).Seconds() }
 
 func (s *statsTracker) setLoad(f float64) {
 	s.mu.Lock()
@@ -70,31 +93,40 @@ func (s *statsTracker) addInterBytes(b float64) {
 // enterState switches the accounting bucket. A competing load factor
 // stretches busy and benchmark intervals by sleeping, emulating
 // time-sharing with the load.
+//
+// The stretch length derives from stateEntered, never stateSince: a
+// concurrent snapshot() folds the in-progress interval and advances
+// stateSince, and computing the sleep from it would silently shrink
+// the stretch to (time since last report) — on a frequently-monitored
+// node the emulated load all but vanished and the saved wall time
+// leaked into idle. Folding still uses stateSince so time is never
+// double-counted against snapshot's folds.
 func (s *statsTracker) enterState(next int) {
 	s.mu.Lock()
 	now := time.Now()
-	el := now.Sub(s.stateSince)
-	if s.load > 0 && el > 0 &&
+	stretched := now.Sub(s.stateEntered)
+	if s.load > 0 && stretched > 0 &&
 		(s.curState == int(metrics.Busy) || s.curState == int(metrics.Bench)) {
 		// Stretch the interval by sleeping outside the lock, then fold
 		// the stretched elapsed time in a second critical section.
 		load := s.load
 		s.mu.Unlock()
-		time.Sleep(time.Duration(float64(el) * load))
+		time.Sleep(time.Duration(float64(stretched) * load))
 		s.mu.Lock()
 		now = time.Now()
-		el = now.Sub(s.stateSince)
 	}
-	if s.curState >= 0 && el > 0 {
+	if el := now.Sub(s.stateSince); s.curState >= 0 && el > 0 {
 		s.acc.Add(metrics.Bucket(s.curState), el.Seconds())
 	}
 	s.curState = next
 	s.stateSince = now
+	s.stateEntered = now
 	s.mu.Unlock()
 }
 
 // snapshot folds the in-progress state into the period and returns the
-// report.
+// report. It advances the fold origin (stateSince) but NOT the state
+// entry time: an in-progress busy stretch keeps its full length.
 func (s *statsTracker) snapshot() metrics.Report {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -104,27 +136,54 @@ func (s *statsTracker) snapshot() metrics.Report {
 		s.acc.Add(metrics.Bucket(s.curState), el)
 	}
 	s.stateSince = now
-	return s.acc.Snapshot(monotonicSeconds())
+	return s.acc.Snapshot(s.monotonic())
 }
 
 // Report snapshots the node's statistics for the elapsed period.
 func (n *Node) Report() metrics.Report { return n.stats.snapshot() }
 
-var startTime = time.Now()
+// monotonicSeconds is the node's clock for the steal engine and the
+// report timeline: seconds since the node's grid epoch (NodeConfig.
+// Epoch), not since some process-wide instant — two grids in one
+// process must not share a timeline.
+func (n *Node) monotonicSeconds() float64 { return n.stats.monotonic() }
 
-func monotonicSeconds() float64 { return time.Since(startTime).Seconds() }
+// queueDepth is the node's current backlog: deque plus inbox.
+func (n *Node) queueDepth() int {
+	return n.jobs.Len() + int(n.inbox.size.Load())
+}
 
-// reportLoop pushes per-period statistics to the coordinator.
+// reportLoop pushes per-period statistics to the coordinator. Send
+// failures are counted (satin/report_err) and logged once per failure
+// streak — a coordinator that was evicted or crashed must not silently
+// blind the adaptation loop.
 func (n *Node) reportLoop() {
 	defer n.wg.Done()
 	ticker := time.NewTicker(n.cfg.MonitorPeriod)
 	defer ticker.Stop()
+	gauge := obs.Default.Gauge("satin/queue_depth/" + string(n.cfg.ID))
+	failing := false // reportLoop-goroutine-local; logged on transitions
 	for {
 		select {
 		case <-n.stopCh:
 			return
 		case <-ticker.C:
-			wire.Send(n.wc, n.cfg.Coordinator, n.Report())
+			depth := n.queueDepth()
+			gauge.Set(float64(depth))
+			obsQueueDepth.Observe(float64(depth))
+			if err := wire.Send(n.wc, n.cfg.Coordinator, n.Report()); err != nil {
+				obsReportErr.Inc()
+				if !failing {
+					failing = true
+					log.Printf("satin: node %s: statistics report to %q failed: %v", n.cfg.ID, n.cfg.Coordinator, err)
+				}
+			} else {
+				obsReportSent.Inc()
+				if failing {
+					failing = false
+					log.Printf("satin: node %s: statistics reports to %q recovered", n.cfg.ID, n.cfg.Coordinator)
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,146 @@
+package satin
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// TestLoadStretchSurvivesSnapshots is the regression test for the
+// accounting race where enterState computed the load stretch from the
+// fold origin (stateSince) that a concurrent snapshot() advances: on a
+// frequently-monitored node the stretch shrank to (time since last
+// report) and the emulated competing load silently vanished — the
+// saved wall time leaked into idle. The stretch must derive from the
+// true state entry time, which snapshots never touch.
+func TestLoadStretchSurvivesSnapshots(t *testing.T) {
+	var s statsTracker
+	s.init(&NodeConfig{ID: "n0", Cluster: "c0"})
+	s.setLoad(4)
+
+	const work = 40 * time.Millisecond
+
+	// A monitoring loop snapshotting every 5ms — far more often than
+	// the paper's period, to make the race deterministic in effect.
+	var mu sync.Mutex
+	var busy float64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				rep := s.snapshot()
+				mu.Lock()
+				busy += rep.BusySec
+				mu.Unlock()
+			}
+		}
+	}()
+
+	s.enterState(int(metrics.Busy))
+	time.Sleep(work) // the "task"
+	s.enterState(stateIdle)
+
+	close(stop)
+	wg.Wait()
+	rep := s.snapshot()
+	busy += rep.BusySec
+
+	// With load 4 the 40ms of work must be stretched to ~200ms of
+	// accounted busy time. The racy code accounted ~40ms work plus a
+	// stretch of only ~(snapshot interval)*4 ≈ 20ms, i.e. ~60-70ms
+	// total. 140ms separates the two regimes with a wide margin for
+	// scheduler jitter.
+	want := 0.140
+	if busy < want {
+		t.Fatalf("accounted busy %.3fs, want >= %.3fs: load stretch was lost to concurrent snapshots", busy, want)
+	}
+}
+
+// TestGridEpochPerGrid is the regression test for the process-wide
+// report clock: every grid in a process shared one package-level
+// startTime, so a grid created later reported periods whose bounds
+// started at the age of the process, not the age of the grid — and two
+// grids' timelines could never be compared. Each grid must stamp its
+// own epoch.
+func TestGridEpochPerGrid(t *testing.T) {
+	gridA, err := NewGrid(GridConfig{
+		Clusters: []ClusterSpec{{Name: "a0", Nodes: 1}},
+		Registry: fastReg(),
+		Node:     NodeConfig{Registry: fastReg()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gridA.Close()
+	if _, err := gridA.StartNodes("a0", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Age the process past the threshold before the second grid exists.
+	time.Sleep(250 * time.Millisecond)
+
+	gridB, err := NewGrid(GridConfig{
+		Clusters: []ClusterSpec{{Name: "b0", Nodes: 1}},
+		Registry: fastReg(),
+		Node:     NodeConfig{Registry: fastReg()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gridB.Close()
+	nodes, err := gridB.StartNodes("b0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := nodes[0].Report()
+	// On grid B's own timeline its first report ends moments after 0.
+	// On the shared process clock it would end at >= 0.25.
+	if rep.End >= 0.2 {
+		t.Fatalf("first report of a fresh grid ends at t=%.3fs: node clock is process-wide, not per grid", rep.End)
+	}
+}
+
+// TestReportSendFailureCounted pins down that a node whose statistics
+// reports cannot reach the coordinator says so: the satin/report_err
+// counter moves (and the loop keeps running instead of silently
+// dropping every period on the floor).
+func TestReportSendFailureCounted(t *testing.T) {
+	before := obs.Default.Counter("satin/report_err").Value()
+	g, err := NewGrid(GridConfig{
+		Clusters: []ClusterSpec{{Name: "c0", Nodes: 1}},
+		Registry: fastReg(),
+		Node: NodeConfig{
+			Registry:      fastReg(),
+			Coordinator:   "no-such-endpoint",
+			MonitorPeriod: 20 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if _, err := g.StartNodes("c0", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if obs.Default.Counter("satin/report_err").Value() > before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("satin/report_err never moved: failed coordinator sends are dropped silently")
+}

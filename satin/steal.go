@@ -5,8 +5,32 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/steal"
 	"repro/internal/transport/wire"
+)
+
+// Steal round-trip instruments, by attempt kind: "local" is the
+// synchronous same-cluster attempt, "wan" a synchronous cross-cluster
+// attempt (Random policy pays these in the idle path), "wan_async" the
+// latency-hidden CRS wide-area slot. Timed around the full
+// request/reply round trip including the emulated link.
+var (
+	obsStealRTT = map[string]*obs.Histogram{
+		"local":     obs.Default.Histogram("satin/steal_rtt/local", obs.LatencyBuckets),
+		"wan":       obs.Default.Histogram("satin/steal_rtt/wan", obs.LatencyBuckets),
+		"wan_async": obs.Default.Histogram("satin/steal_rtt/wan_async", obs.LatencyBuckets),
+	}
+	obsStealOK = map[string]*obs.Counter{
+		"local":     obs.Default.Counter("satin/steal_ok/local"),
+		"wan":       obs.Default.Counter("satin/steal_ok/wan"),
+		"wan_async": obs.Default.Counter("satin/steal_ok/wan_async"),
+	}
+	obsStealFail = map[string]*obs.Counter{
+		"local":     obs.Default.Counter("satin/steal_fail/local"),
+		"wan":       obs.Default.Counter("satin/steal_fail/wan"),
+		"wan_async": obs.Default.Counter("satin/steal_fail/wan_async"),
+	}
 )
 
 // StealPolicy selects the victim-selection algorithm. The policy
@@ -76,19 +100,19 @@ func (s *stealer) replyArrived(seq uint64, got bool) {
 // StealRandom the one victim is contacted synchronously wherever it
 // sits, paying any WAN round trip in the idle path.
 func (n *Node) trySteal() (jobMsg, bool) {
-	d := n.stealer.eng.Next(monotonicSeconds(), n.members.stealables())
+	d := n.stealer.eng.Next(n.monotonicSeconds(), n.members.stealables())
 	if d.Async != nil {
 		go n.wanSteal(d.Async.ID)
 	}
 	if d.Sync == nil {
 		return jobMsg{}, false
 	}
-	bucket, timeout := metrics.Intra, n.cfg.LocalStealTimeout
+	bucket, timeout, kind := metrics.Intra, n.cfg.LocalStealTimeout, "local"
 	if d.SyncWide {
-		bucket, timeout = metrics.Inter, n.cfg.WANStealTimeout
+		bucket, timeout, kind = metrics.Inter, n.cfg.WANStealTimeout, "wan"
 	}
 	n.enterState(int(bucket))
-	gotJob := n.stealFrom(d.Sync.ID, timeout)
+	gotJob := n.stealFrom(d.Sync.ID, timeout, kind)
 	n.stealer.eng.SyncDone(gotJob)
 	n.enterState(stateIdle)
 	if !gotJob {
@@ -104,28 +128,39 @@ func (n *Node) trySteal() (jobMsg, bool) {
 // adopted by the reply handler; here we only settle the engine's
 // async slot CRS keys on.
 func (n *Node) wanSteal(victim NodeID) {
-	got := n.stealFrom(victim, n.cfg.WANStealTimeout)
+	got := n.stealFrom(victim, n.cfg.WANStealTimeout, "wan_async")
 	n.stealer.eng.AsyncDone(got)
 	n.wakeUp()
 }
 
 // stealFrom sends one steal request and waits for the reply; it
 // reports whether the victim granted a job (which the reply handler
-// already adopted into the inbox).
-func (n *Node) stealFrom(victim NodeID, timeout time.Duration) bool {
-	seq, ch := n.stealer.addWaiter()
-	defer n.stealer.dropWaiter(seq)
-	if err := wire.Send(n.wc, satinEP(victim), stealMsg{Thief: n.cfg.ID, Cluster: n.cfg.Cluster, Seq: seq}); err != nil {
-		return false
+// already adopted into the inbox). kind labels the attempt for the
+// round-trip instruments ("local", "wan", "wan_async").
+func (n *Node) stealFrom(victim NodeID, timeout time.Duration, kind string) bool {
+	start := time.Now()
+	got := func() bool {
+		seq, ch := n.stealer.addWaiter()
+		defer n.stealer.dropWaiter(seq)
+		if err := wire.Send(n.wc, satinEP(victim), stealMsg{Thief: n.cfg.ID, Cluster: n.cfg.Cluster, Seq: seq}); err != nil {
+			return false
+		}
+		select {
+		case g := <-ch:
+			return g
+		case <-time.After(timeout):
+			return false
+		case <-n.stopCh:
+			return false
+		}
+	}()
+	obsStealRTT[kind].Observe(time.Since(start).Seconds())
+	if got {
+		obsStealOK[kind].Inc()
+	} else {
+		obsStealFail[kind].Inc()
 	}
-	select {
-	case got := <-ch:
-		return got
-	case <-time.After(timeout):
-		return false
-	case <-n.stopCh:
-		return false
-	}
+	return got
 }
 
 // onSteal serves a thief: take the oldest job (biggest subtree) off
