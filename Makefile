@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify gridsim chaos bench
+.PHONY: build test vet race verify gridsim chaos bench satind-smoke
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,12 @@ gridsim:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -count=1 ./internal/deque ./internal/steal ./satin
 	$(GO) run ./cmd/bench -out BENCH_5.json
+
+# End-to-end smoke of the multi-job service: start satind, run two
+# jobs concurrently through the client, check results and per-job
+# metrics, drain with SIGTERM.
+satind-smoke:
+	./scripts/satind_smoke.sh
 
 # Chaos harness: the full seeded scenario corpus (24 randomized
 # DES scenarios), the fault-transport unit tests, and the live-runtime

@@ -90,6 +90,12 @@ type Config struct {
 	// Called from the coordinator's tick goroutine outside any lock;
 	// keep it fast and never call back into the coordinator.
 	Observer func(PeriodRecord)
+	// Pressure, when set, is the shared node pool's reclaim signal
+	// (pool.Client.Pressure): how many nodes this job holds beyond its
+	// fair share while other jobs are starved. The kernel yields that
+	// many of its worst nodes — without blacklisting them — at the next
+	// tick. Leave nil for single-job deployments that own their pool.
+	Pressure func() int
 }
 
 // PeriodRecord is one coordinator tick, kept for inspection. It is the
@@ -150,6 +156,7 @@ func Start(f transport.Fabric, prov Provisioner, cfg Config) (*Coordinator, erro
 	kern, err := coord.New(coord.Config{
 		Engine:      &th,
 		MonitorOnly: cfg.MonitorOnly,
+		Pressure:    cfg.Pressure,
 	}, runtimeActuator{c})
 	if err != nil {
 		reg.Close()

@@ -5,6 +5,10 @@
 // a competing CPU load — the paper's system end to end, in one
 // process.
 //
+// It is a thin client of the job layer: one job submitted to an
+// in-process manager, live iteration printing, wait, exit. The same
+// layer served long-lived over the wire is cmd/satind.
+//
 // Examples:
 //
 //	satinrun -app fib -size 26 -clusters 2 -nodes 4
@@ -19,14 +23,12 @@ import (
 	"log"
 	"os"
 	"sort"
-	"strconv"
-	"strings"
 	"time"
 
-	"repro/adapt"
-	"repro/internal/apps"
+	"repro/internal/job"
 	"repro/internal/obs"
 	"repro/internal/record"
+	"repro/internal/sigdrain"
 	"repro/internal/trace"
 	"repro/satin"
 )
@@ -71,52 +73,38 @@ func main() {
 			Name: satin.ClusterID(fmt.Sprintf("fs%d", i)), Nodes: *nodes * 2,
 		})
 	}
-	g, err := satin.NewGrid(satin.GridConfig{
+	// Malformed -shape/-load used to be silently ignored; now they are
+	// validated against the deployment before anything starts.
+	jobSpec := job.Spec{
+		App: *app, Size: *size, Iters: *iters,
+		MinNodes: *clusters * *nodes,
+		Adapt:    *adaptOn, Period: *period,
+	}
+	if *shape != "" {
+		cluster, v, err := job.ParseKV(*shape, specs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "satinrun: -shape: %v\n", err)
+			os.Exit(2)
+		}
+		jobSpec.Shape = map[string]float64{string(cluster): v}
+	}
+	if *load != "" {
+		cluster, v, err := job.ParseKV(*load, specs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "satinrun: -load: %v\n", err)
+			os.Exit(2)
+		}
+		jobSpec.Load = map[string]float64{string(cluster): v}
+	}
+
+	m, err := job.NewManager(job.Config{
 		Clusters: specs,
-		Node: satin.NodeConfig{
-			Coordinator:   coordName(*adaptOn),
-			MonitorPeriod: *period,
-			Bench:         apps.Fib{N: 18, SeqCutoff: 18},
-			BenchWork:     float64(apps.FibLeaves(18)),
-		},
+		Period:   *period,
+		Recorder: rec,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer g.Close()
-	for _, c := range specs {
-		if _, err := g.StartNodes(c.Name, *nodes); err != nil {
-			log.Fatal(err)
-		}
-	}
-	master := g.Node("fs0/00")
-
-	var coord *adapt.Coordinator
-	if *adaptOn {
-		cfg := adapt.Config{
-			Period:    *period,
-			Protected: []adapt.NodeID{master.ID()},
-		}
-		if rec != nil {
-			// Every period becomes a structured event; decisions get
-			// their own kind so `grep '"decision"'` over /events is the
-			// adaptation timeline.
-			cfg.Observer = func(pr adapt.PeriodRecord) {
-				rec.RecordAt(pr.Time, "period", pr)
-				if pr.Action != "" && pr.Action != "none" {
-					rec.RecordAt(pr.Time, "decision", pr)
-				}
-			}
-		}
-		coord, err = adapt.Start(g.Fabric(), g, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer coord.Stop()
-	}
-	applyDisturbance(g, *shape, *load)
-
-	task, check := buildTask(*app, *size)
 	if rec != nil {
 		rec.Record("run", map[string]any{
 			"app": *app, "size": *size, "clusters": *clusters,
@@ -125,120 +113,79 @@ func main() {
 	}
 	fmt.Printf("%s(size %d) on %d nodes in %d clusters, %d iteration(s)\n",
 		*app, *size, *clusters**nodes, *clusters, *iters)
+	if *shape != "" {
+		for c, v := range jobSpec.Shape {
+			fmt.Printf("throttled %s WAN link to %.0f B/s\n", c, v)
+		}
+	}
+	if *load != "" {
+		for c, v := range jobSpec.Load {
+			fmt.Printf("competing load %.1fx on %s\n", v, c)
+		}
+	}
+
 	total := time.Duration(0)
-	for i := 0; i < *iters; i++ {
-		start := time.Now()
-		val, err := master.Run(task)
-		if err != nil {
-			log.Fatal(err)
-		}
-		el := time.Since(start)
-		total += el
+	j, err := m.SubmitJob(jobSpec, job.Hooks{
+		OnIteration: func(i int, seconds float64, nodes int) {
+			el := time.Duration(seconds * float64(time.Second))
+			total += el
+			fmt.Printf("  iteration %2d: %8v (%2d nodes)\n",
+				i, el.Round(time.Millisecond), nodes)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// First SIGINT/SIGTERM cancels the job and flushes; a second one
+	// force-quits.
+	release := sigdrain.Install("satinrun", func() int {
+		j.Cancel()
+		m.Drain(10 * time.Second)
 		if rec != nil {
-			rec.Record("iteration", map[string]any{
-				"i": i, "seconds": el.Seconds(), "nodes": g.NodeCount(),
-			})
+			_ = rec.WriteEventsJSONL(os.Stderr)
 		}
-		ok := ""
-		if check != nil {
-			if check(val) {
-				ok = "result ok"
-			} else {
-				ok = fmt.Sprintf("WRONG RESULT: %v", val)
-			}
+		return 130
+	})
+	defer release()
+	<-j.Done()
+
+	res := j.Result()
+	switch j.State() {
+	case job.Done:
+		if res.Check != "" && res.Check != "ok" {
+			fmt.Println(res.Check)
+		} else if res.Check == "ok" {
+			fmt.Println("result ok")
 		}
-		fmt.Printf("  iteration %2d: %8v (%2d nodes) %s\n",
-			i, el.Round(time.Millisecond), g.NodeCount(), ok)
+	default:
+		log.Fatalf("satinrun: job %s: %s", j.State(), res.Err)
 	}
 	fmt.Printf("total: %v, mean %v/iteration\n",
 		total.Round(time.Millisecond), (total / time.Duration(*iters)).Round(time.Millisecond))
 
 	if *verbose {
-		ns := g.Nodes()
-		sort.Slice(ns, func(i, j int) bool { return ns[i].ID() < ns[j].ID() })
+		reports := res.NodeReports
+		sort.Slice(reports, func(i, k int) bool { return reports[i].Node < reports[k].Node })
 		fmt.Println("per-node statistics:")
-		for _, n := range ns {
-			rep := n.Report()
+		for _, rep := range reports {
 			fmt.Printf("  %-10s busy=%.2fs intra=%.2fs inter=%.2fs bench=%.2fs speed=%.0f\n",
-				n.ID(), rep.BusySec, rep.IntraSec, rep.InterSec, rep.BenchSec, rep.Speed)
+				rep.Node, rep.BusySec, rep.IntraSec, rep.InterSec, rep.BenchSec, rep.Speed)
 		}
 	}
-	if coord != nil {
+	if *adaptOn {
 		// The same unified period log the simulator prints (both are
 		// the shared kernel's coord.PeriodRecord).
 		fmt.Println("coordinator period log:")
-		trace.WritePeriods(os.Stdout, coord.History())
-		if anns := coord.Annotations(); len(anns) > 0 {
+		trace.WritePeriods(os.Stdout, res.History)
+		if len(res.Annotations) > 0 {
 			fmt.Println("adaptation timeline:")
-			trace.WriteAnnotations(os.Stdout, anns)
+			trace.WriteAnnotations(os.Stdout, res.Annotations)
 		}
-		fmt.Printf("learned: %s\n", coord.Requirements())
+		fmt.Printf("learned: %s\n", res.Learned)
 	}
 	if *wireObs {
 		fmt.Println("wire-layer counters:")
 		obs.Default.WriteText(os.Stdout)
 	}
-}
-
-func coordName(on bool) string {
-	if on {
-		return adapt.EndpointName
-	}
-	return ""
-}
-
-func applyDisturbance(g *satin.Grid, shape, load string) {
-	if shape != "" {
-		cluster, v := splitKV(shape)
-		g.Shape(satin.ClusterID(cluster), v)
-		fmt.Printf("throttled %s WAN link to %.0f B/s\n", cluster, v)
-	}
-	if load != "" {
-		cluster, v := splitKV(load)
-		g.SetClusterLoad(satin.ClusterID(cluster), v)
-		fmt.Printf("competing load %.1fx on %s\n", v, cluster)
-	}
-}
-
-func splitKV(s string) (string, float64) {
-	parts := strings.SplitN(s, "=", 2)
-	if len(parts) != 2 {
-		fmt.Fprintf(os.Stderr, "satinrun: expected cluster=value, got %q\n", s)
-		os.Exit(2)
-	}
-	v, err := strconv.ParseFloat(parts[1], 64)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "satinrun: bad value in %q: %v\n", s, err)
-		os.Exit(2)
-	}
-	return parts[0], v
-}
-
-func buildTask(app string, size int) (satin.Task, func(any) bool) {
-	switch app {
-	case "fib":
-		want := apps.FibLeaves(size)
-		return apps.Fib{N: size, SeqCutoff: 12, LeafDelay: 3 * time.Millisecond},
-			func(v any) bool { return v.(int) == want }
-	case "nqueens":
-		want := apps.QueensSolutions(size)
-		return apps.NQueens{N: size, SpawnDepth: 3},
-			func(v any) bool { return want < 0 || v.(int) == want }
-	case "integrate":
-		return apps.Integrate{Fn: "spiky", A: -3, B: 3, Eps: 1e-10}, nil
-	case "tsp":
-		return apps.NewTSP(apps.RandomCities(size, 42), 3), nil
-	case "knapsack":
-		k := apps.RandomKnapsack(size, 42)
-		want := apps.KnapsackDP(k.Weights, k.Values, k.Capacity)
-		return k, func(v any) bool { return v.(int) == want }
-	case "barneshut":
-		bodies := apps.Plummer(size, 42)
-		return apps.BHForces{Bodies: bodies, Lo: 0, Hi: len(bodies), Theta: 0.5, Grain: 128},
-			func(v any) bool { return len(v.([]apps.Accel)) == len(bodies) }
-	default:
-		fmt.Fprintf(os.Stderr, "satinrun: unknown app %q\n", app)
-		os.Exit(2)
-		return nil, nil
-	}
+	m.Close()
 }

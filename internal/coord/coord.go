@@ -110,6 +110,14 @@ type Config struct {
 	// OpportunisticFactor is how much faster an available cluster must
 	// be than the slowest live node to trigger a migration (default 1.5).
 	OpportunisticFactor float64
+	// Pressure, when set, is the shared node pool's reclaim signal: how
+	// many nodes this kernel's job holds beyond its fair share while
+	// other jobs are starved. The kernel yields that many of its worst
+	// nodes at the next tick — WITHOUT blacklisting them (they are not
+	// bad, the grid is just contended; the pool may legitimately hand
+	// them back later). This is how a coordinator participates in
+	// multi-job arbitration instead of assuming it owns the scheduler.
+	Pressure func() int
 }
 
 // Kernel is the runtime-independent adaptation coordinator. It is safe
@@ -330,6 +338,37 @@ func (k *Kernel) Tick(now float64, live []core.NodeID) PeriodRecord {
 		return rec
 	}
 
+	// Fair-share yield outranks the WAE band: when the pool demands
+	// capacity back for starved jobs, holding on to surplus nodes would
+	// starve them for as long as this job runs. Yield the worst nodes
+	// (least efficient by the badness heuristic) and decide afresh on
+	// the shrunken configuration next period.
+	if k.cfg.Pressure != nil {
+		if p := k.cfg.Pressure(); p > 0 {
+			ranked := core.RankNodes(stats, k.eng.Config().Weights)
+			var victims []core.NodeID
+			for _, nb := range ranked {
+				if len(victims) >= p {
+					break
+				}
+				if !k.protected[nb.Node] {
+					victims = append(victims, nb.Node)
+				}
+			}
+			if removed := k.evict(victims, "fair-share yield", false); removed > 0 {
+				rec.Action = "yield"
+				rec.Removed = removed
+				rec.Detail = fmt.Sprintf("pool reclaimed %d of %d surplus nodes", removed, p)
+				obs.Default.Counter("coord/yielded").Add(uint64(removed))
+				k.act.Annotate(fmt.Sprintf("yielded %d nodes to the shared pool", removed))
+				k.reports = make(map[core.NodeID]metrics.Report)
+				k.prevStats = make(map[core.NodeID]core.NodeStats)
+				k.ins.resets.Inc()
+				return rec
+			}
+		}
+	}
+
 	d := k.eng.Decide(stats)
 	rec.WAE = d.WAE
 	rec.Action = d.Action.String()
@@ -355,7 +394,7 @@ func (k *Kernel) Tick(now float64, live []core.NodeID) PeriodRecord {
 			k.act.Annotate(fmt.Sprintf("adding %d nodes (WAE %.2f)", rec.Added, d.WAE))
 		}
 	case core.ActionRemoveNodes:
-		rec.Removed = k.evict(d.RemoveNodes, "badness")
+		rec.Removed = k.evict(d.RemoveNodes, "badness", true)
 		if rec.Removed > 0 {
 			acted = true
 			k.act.Annotate(fmt.Sprintf("removed %d worst nodes (WAE %.2f)", rec.Removed, d.WAE))
@@ -363,7 +402,7 @@ func (k *Kernel) Tick(now float64, live []core.NodeID) PeriodRecord {
 	case core.ActionRemoveCluster:
 		// Learn the bandwidth requirement before the reports disappear.
 		k.learnClusterBandwidth(d)
-		removed := k.evict(d.RemoveNodes, "cluster uplink saturated")
+		removed := k.evict(d.RemoveNodes, "cluster uplink saturated", true)
 		if removed > 0 {
 			if !k.cfg.DisableBlacklist {
 				k.reqs.BlacklistCluster(d.RemoveCluster,
@@ -387,7 +426,7 @@ func (k *Kernel) Tick(now float64, live []core.NodeID) PeriodRecord {
 					victims = append(victims, nb.Node)
 				}
 			}
-			removed = k.evict(victims, "badness (cluster fallback)")
+			removed = k.evict(victims, "badness (cluster fallback)", true)
 			if removed > 0 {
 				k.act.Annotate(fmt.Sprintf("removed %d worst nodes (WAE %.2f)", removed, d.WAE))
 			}
@@ -472,9 +511,11 @@ func (k *Kernel) reportedBandwidth(c core.ClusterID) float64 {
 }
 
 // evict filters out protected nodes, asks the actuator to remove the
-// rest, and blacklists exactly the nodes that actually left so the
-// scheduler does not hand them straight back.
-func (k *Kernel) evict(victims []core.NodeID, reason string) int {
+// rest, and — when blacklist is set — blacklists exactly the nodes
+// that actually left so the scheduler does not hand them straight
+// back. A fair-share yield evicts without blacklisting: the yielded
+// nodes are healthy and may return once the pool decompresses.
+func (k *Kernel) evict(victims []core.NodeID, reason string, blacklist bool) int {
 	want := make([]core.NodeID, 0, len(victims))
 	for _, id := range victims {
 		if !k.protected[id] {
@@ -486,7 +527,7 @@ func (k *Kernel) evict(victims []core.NodeID, reason string) int {
 	}
 	evicted := k.act.Evict(want, reason)
 	for _, id := range evicted {
-		if !k.cfg.DisableBlacklist {
+		if blacklist && !k.cfg.DisableBlacklist {
 			k.reqs.BlacklistNode(id, reason)
 		}
 		delete(k.reports, id)
@@ -545,6 +586,6 @@ func (k *Kernel) tryOpportunistic(stats []core.NodeStats) (added, removed int) {
 	for i := 0; i < added && i < len(slow); i++ {
 		victims = append(victims, slow[i].Node)
 	}
-	removed = k.evict(victims, "opportunistic migration")
+	removed = k.evict(victims, "opportunistic migration", true)
 	return added, removed
 }

@@ -596,3 +596,68 @@ func TestConcurrentReportAndTick(t *testing.T) {
 		t.Fatalf("kernel tracks %d reports, want %d", got, len(live))
 	}
 }
+
+// --- fair-share yield (multi-job pool arbitration) --------------------
+
+// TestFairShareYield: when the shared pool signals reclaim pressure,
+// the kernel evicts that many of its WORST nodes even though the WAE
+// is inside the band, does not blacklist them (they are healthy; the
+// grid is merely contended), and never yields a protected node.
+func TestFairShareYield(t *testing.T) {
+	act := &scriptedActuator{}
+	pressure := 2
+	k := newKernel(t, Config{Pressure: func() int { return pressure }}, act)
+	k.Protect("A/0")
+
+	live := []core.NodeID{"A/0", "A/1", "B/0", "B/1"}
+	// Healthy efficiencies; B's nodes carry more inter-cluster overhead
+	// (the dominant badness term), so B/1 then B/0 are the worst two —
+	// those must be the yield victims.
+	feed := func(period int) {
+		k.Report(rep("A/0", "A", period, 10, 2, 1, 100, 0))
+		k.Report(rep("A/1", "A", period, 12, 2, 1, 100, 0))
+		k.Report(rep("B/0", "B", period, 20, 2, 4, 100, 0))
+		k.Report(rep("B/1", "B", period, 30, 2, 5, 100, 0))
+	}
+	feed(0)
+	recA := k.Tick(dur, live)
+	if recA.Action != "yield" || recA.Removed != 2 {
+		t.Fatalf("want yield of 2, got action %q removed %d (%s)", recA.Action, recA.Removed, recA.Detail)
+	}
+	if len(act.evictions) != 1 {
+		t.Fatalf("want one eviction call, got %v", act.evictions)
+	}
+	got := append([]core.NodeID(nil), act.evictions[0]...)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if !reflect.DeepEqual(got, []core.NodeID{"B/0", "B/1"}) {
+		t.Fatalf("want worst nodes B/0+B/1 yielded, got %v", got)
+	}
+	// Yielded nodes are NOT blacklisted: the pool may hand them back.
+	if bl := k.Requirements().BlacklistedNodes(); len(bl) != 0 {
+		t.Fatalf("yield must not blacklist, got %v", bl)
+	}
+	// Pressure gone: the next tick decides normally (WAE in band -> none).
+	pressure = 0
+	feed(2)
+	recB := k.Tick(3*dur, []core.NodeID{"A/0", "A/1"})
+	if recB.Action == "yield" || recB.Removed != 0 {
+		t.Fatalf("no pressure must mean no yield, got %+v", recB)
+	}
+}
+
+// TestFairShareYieldSparesProtected: pressure larger than the number of
+// evictable nodes yields only the unprotected ones.
+func TestFairShareYieldSparesProtected(t *testing.T) {
+	act := &scriptedActuator{}
+	k := newKernel(t, Config{Pressure: func() int { return 5 }}, act)
+	k.Protect("A/0")
+	k.Report(rep("A/0", "A", 0, 10, 2, 2, 100, 0))
+	k.Report(rep("A/1", "A", 0, 12, 2, 2, 100, 0))
+	rec := k.Tick(dur, []core.NodeID{"A/0", "A/1"})
+	if rec.Action != "yield" || rec.Removed != 1 {
+		t.Fatalf("want yield of the single unprotected node, got %+v", rec)
+	}
+	if len(act.evictions) != 1 || len(act.evictions[0]) != 1 || act.evictions[0][0] != "A/1" {
+		t.Fatalf("want A/1 evicted, got %v", act.evictions)
+	}
+}

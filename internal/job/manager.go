@@ -1,0 +1,533 @@
+package job
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/adapt"
+	"repro/internal/apps"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/pool"
+	"repro/internal/record"
+	"repro/internal/registry"
+	"repro/internal/topo"
+	"repro/satin"
+)
+
+// Config describes the service-wide deployment every job runs inside:
+// the emulated clusters (owned by the shared pool, not by any job) and
+// the execution limits.
+type Config struct {
+	// Clusters is the grid's capacity. Every job's deployment emulates
+	// these same clusters; the shared arbiter owns the processors.
+	Clusters []satin.ClusterSpec
+
+	LANLatency   time.Duration // default 200µs
+	WANLatency   time.Duration // default 5ms
+	LANBandwidth float64       // bytes/s, default 100 MB/s
+	WANBandwidth float64       // bytes/s, default 50 MB/s
+
+	// MaxActive bounds concurrently executing jobs (default 8); queued
+	// jobs also wait until the admitted jobs' MinNodes fit capacity.
+	MaxActive int
+	// Period is the default monitoring period (default 500ms).
+	Period time.Duration
+	// ProvisionPatience bounds how long a job waits for MinNodes before
+	// starting with whatever it holds — at least the master (default 5s).
+	ProvisionPatience time.Duration
+	// DemandTTL is passed to the pool arbiter (default 10s).
+	DemandTTL time.Duration
+	// Registry tunes each job's registry (tests use fast heartbeats).
+	Registry registry.Options
+	// Node overrides per-node defaults (benchmark, steal timeouts).
+	Node satin.NodeConfig
+	// Recorder, when set, receives job lifecycle and iteration events.
+	Recorder *record.Recorder
+	// Seed, when non-zero, makes runs reproducible: job n uses Seed+n.
+	Seed int64
+}
+
+func (c *Config) defaults() error {
+	if len(c.Clusters) == 0 {
+		return fmt.Errorf("job: manager needs at least one cluster")
+	}
+	if c.MaxActive == 0 {
+		c.MaxActive = 8
+	}
+	if c.Period == 0 {
+		c.Period = 500 * time.Millisecond
+	}
+	if c.ProvisionPatience == 0 {
+		c.ProvisionPatience = 5 * time.Second
+	}
+	if c.LANLatency == 0 {
+		c.LANLatency = 200 * time.Microsecond
+	}
+	if c.WANLatency == 0 {
+		c.WANLatency = 5 * time.Millisecond
+	}
+	if c.LANBandwidth == 0 {
+		c.LANBandwidth = 100e6
+	}
+	if c.WANBandwidth == 0 {
+		c.WANBandwidth = 50e6
+	}
+	if c.Node.Bench == nil {
+		c.Node.Bench = apps.Fib{N: 18, SeqCutoff: 18}
+		c.Node.BenchWork = float64(apps.FibLeaves(18))
+	}
+	return nil
+}
+
+// Manager runs jobs over one shared node pool. One Manager per
+// process; cmd/satind serves it, tests drive it directly.
+type Manager struct {
+	cfg Config
+	arb *pool.Arbiter
+
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	order       []string
+	queue       []*Job
+	active      int
+	minReserved int // sum of admitted jobs' MinNodes
+	nextID      int
+	draining    bool
+
+	wake chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup // running jobs
+	loop sync.WaitGroup // scheduler goroutine
+}
+
+// NewManager builds the shared pool and starts the admission
+// scheduler.
+func NewManager(cfg Config) (*Manager, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	// The arbiter owns the whole topology — the same conversion a grid
+	// does for its private pool, so node IDs and bandwidth bounds match.
+	var t topo.Topology
+	for _, c := range cfg.Clusters {
+		t.Clusters = append(t.Clusters, topo.Cluster{
+			ID: c.Name, Nodes: c.Nodes, Speed: 1,
+			LANLatency: cfg.LANLatency.Seconds(), LANBandwidth: cfg.LANBandwidth,
+			WANLatency: cfg.WANLatency.Seconds() / 2, UplinkBandwidth: cfg.WANBandwidth,
+		})
+	}
+	arb, err := pool.New(t, pool.Config{DemandTTL: cfg.DemandTTL})
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cfg:  cfg,
+		arb:  arb,
+		jobs: make(map[string]*Job),
+		wake: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+	}
+	arb.Subscribe(m.wake)
+	m.loop.Add(1)
+	go m.scheduler()
+	return m, nil
+}
+
+// Capacity returns the pool's (non-dead) node count.
+func (m *Manager) Capacity() int { return m.arb.Capacity() }
+
+// Arbiter exposes the shared pool (chaos and tests).
+func (m *Manager) Arbiter() *pool.Arbiter { return m.arb }
+
+// Submit validates a spec and enqueues the job. Validation is strict:
+// an unknown application, impossible node counts, or a disturbance
+// naming an unknown cluster is rejected here, before the job holds
+// anything.
+func (m *Manager) Submit(spec Spec) (*Job, error) {
+	return m.SubmitJob(spec, Hooks{})
+}
+
+// SubmitJob is Submit with in-process callbacks attached.
+func (m *Manager) SubmitJob(spec Spec, hooks Hooks) (*Job, error) {
+	if _, _, err := BuildTask(spec.App, spec.Size); err != nil {
+		return nil, err
+	}
+	if spec.Iters == 0 {
+		spec.Iters = 1
+	}
+	if spec.Iters < 0 {
+		return nil, fmt.Errorf("iters must be >= 1, got %d", spec.Iters)
+	}
+	if spec.MinNodes == 0 {
+		spec.MinNodes = 1
+	}
+	if spec.MinNodes < 0 || spec.MinNodes > m.arb.Capacity() {
+		return nil, fmt.Errorf("min nodes %d out of range (capacity %d)", spec.MinNodes, m.arb.Capacity())
+	}
+	if spec.MaxNodes != 0 && spec.MaxNodes < spec.MinNodes {
+		return nil, fmt.Errorf("max nodes %d below min nodes %d", spec.MaxNodes, spec.MinNodes)
+	}
+	for _, dist := range []map[string]float64{spec.Shape, spec.Load} {
+		for name, v := range dist {
+			if _, _, err := ParseKV(fmt.Sprintf("%s=%g", name, v), m.cfg.Clusters); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("service is draining, not accepting jobs")
+	}
+	m.nextID++
+	id := fmt.Sprintf("job-%03d", m.nextID)
+	j := newJob(id, spec, hooks, m.onState)
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.queue = append(m.queue, j)
+	m.mu.Unlock()
+
+	obs.Default.Counter("job/submitted").Inc()
+	m.record(j, "job-submitted", map[string]any{
+		"app": spec.App, "size": spec.Size, "iters": spec.Iters,
+		"min_nodes": spec.MinNodes, "adapt": spec.Adapt,
+	})
+	m.wakeUp()
+	return j, nil
+}
+
+// Job returns a job by ID (nil if unknown).
+func (m *Manager) Job(id string) *Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[id]
+}
+
+// Jobs returns every job in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Cancel cancels a job by ID.
+func (m *Manager) Cancel(id string) error {
+	j := m.Job(id)
+	if j == nil {
+		return fmt.Errorf("unknown job %q", id)
+	}
+	j.Cancel()
+	m.wakeUp() // a cancelled queued job must leave the queue promptly
+	return nil
+}
+
+// Drain stops admission, cancels queued jobs, and waits up to timeout
+// for running jobs to finish; stragglers are cancelled. Returns how
+// many jobs were cancelled.
+func (m *Manager) Drain(timeout time.Duration) int {
+	m.mu.Lock()
+	m.draining = true
+	queued := m.queue
+	m.queue = nil
+	m.mu.Unlock()
+	cancelled := 0
+	for _, j := range queued {
+		j.Cancel()
+		j.setState(Cancelled)
+		cancelled++
+	}
+	done := make(chan struct{})
+	go func() { m.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		for _, j := range m.Jobs() {
+			if !j.State().Terminal() {
+				j.Cancel()
+				cancelled++
+			}
+		}
+		<-done // kills complete futures synchronously; jobs exit fast
+	}
+	return cancelled
+}
+
+// Close stops the scheduler. Call after Drain.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	draining := m.draining
+	m.mu.Unlock()
+	if !draining {
+		m.Drain(time.Second)
+	}
+	close(m.stop)
+	m.loop.Wait()
+}
+
+func (m *Manager) wakeUp() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (m *Manager) record(j *Job, kind string, data map[string]any) {
+	if m.cfg.Recorder == nil {
+		return
+	}
+	if data == nil {
+		data = map[string]any{}
+	}
+	data["job"] = j.ID
+	m.cfg.Recorder.Record(kind, data)
+}
+
+func (m *Manager) onState(j *Job, from, to State) {
+	m.record(j, "job-state", map[string]any{"from": from.String(), "to": to.String()})
+}
+
+// scheduler is the admission loop: FIFO over the queue, bounded by
+// MaxActive and by the invariant that every admitted job's MinNodes
+// must fit in capacity together — so no admitted set can deadlock
+// waiting for nodes that cannot exist.
+func (m *Manager) scheduler() {
+	defer m.loop.Done()
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		m.admit()
+		select {
+		case <-m.stop:
+			return
+		case <-m.wake:
+		case <-ticker.C:
+		}
+	}
+}
+
+func (m *Manager) admit() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) > 0 {
+		j := m.queue[0]
+		if j.cancelled() {
+			m.queue = m.queue[1:]
+			j.setState(Cancelled)
+			continue
+		}
+		if m.active >= m.cfg.MaxActive || m.minReserved+j.Spec.MinNodes > m.arb.Capacity() {
+			return
+		}
+		m.queue = m.queue[1:]
+		m.active++
+		m.minReserved += j.Spec.MinNodes
+		m.wg.Add(1)
+		go m.run(j)
+	}
+}
+
+// run executes one job end to end: register with the pool, build a
+// private deployment over the shared capacity, bid for nodes, run the
+// iterations, clean up. Every exit path releases everything the job
+// held.
+func (m *Manager) run(j *Job) {
+	defer func() {
+		m.mu.Lock()
+		m.active--
+		m.minReserved -= j.Spec.MinNodes
+		m.mu.Unlock()
+		m.wakeUp()
+		m.wg.Done()
+	}()
+
+	client, err := m.arb.Register(j.ID, j.Spec.Weight, j.Spec.MaxNodes)
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	defer client.Close()
+
+	m.mu.Lock()
+	var seed int64
+	if m.cfg.Seed != 0 {
+		// Reproducible but distinct per job: the job index perturbs the
+		// service seed.
+		seed = m.cfg.Seed + int64(len(m.order))
+	}
+	m.mu.Unlock()
+
+	nodeCfg := m.cfg.Node
+	period := j.Spec.Period
+	if period == 0 {
+		period = m.cfg.Period
+	}
+	if j.Spec.Adapt {
+		nodeCfg.Coordinator = adapt.EndpointName
+		nodeCfg.MonitorPeriod = period
+	}
+	g, err := satin.NewGrid(satin.GridConfig{
+		Clusters:     m.cfg.Clusters,
+		Pool:         client,
+		LANLatency:   m.cfg.LANLatency,
+		WANLatency:   m.cfg.WANLatency,
+		LANBandwidth: m.cfg.LANBandwidth,
+		WANBandwidth: m.cfg.WANBandwidth,
+		Registry:     m.cfg.Registry,
+		Seed:         seed,
+		Node:         nodeCfg,
+	})
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	defer g.Close()
+	j.attachGrid(g)
+	j.setState(Provisioning)
+
+	master, err := m.provision(j, g)
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	j.obsNodes.Set(float64(g.NodeCount()))
+
+	var coord *adapt.Coordinator
+	if j.Spec.Adapt {
+		cfg := adapt.Config{
+			Period:    period,
+			Protected: []adapt.NodeID{master.ID()},
+			// The job's coordinator bids for nodes through the shared
+			// pool (g.Provision goes through the fair-share client) and
+			// yields its surplus when other jobs starve.
+			Pressure: client.Pressure,
+		}
+		if rec := m.cfg.Recorder; rec != nil {
+			id := j.ID
+			cfg.Observer = func(pr adapt.PeriodRecord) {
+				if pr.Action != "" && pr.Action != "none" {
+					rec.Record("decision", map[string]any{"job": id, "record": pr})
+				}
+			}
+		}
+		coord, err = adapt.Start(g.Fabric(), g, cfg)
+		if err != nil {
+			j.fail(err)
+			return
+		}
+		defer coord.Stop()
+	}
+	for name, bw := range j.Spec.Shape {
+		g.Shape(satin.ClusterID(name), bw)
+	}
+	for name, f := range j.Spec.Load {
+		g.SetClusterLoad(satin.ClusterID(name), f)
+	}
+
+	task, check, _ := BuildTask(j.Spec.App, j.Spec.Size) // validated at submit
+	j.setState(Running)
+	for i := 0; i < j.Spec.Iters; i++ {
+		if j.cancelled() {
+			break
+		}
+		start := time.Now()
+		val, err := master.Run(task)
+		if err != nil {
+			// A closed grid (cancel, drain) surfaces here as a node-
+			// stopped error; fail() sorts cancel from genuine failure.
+			j.fail(fmt.Errorf("iteration %d: %w", i, err))
+			return
+		}
+		el := time.Since(start).Seconds()
+		j.addIteration(el)
+		j.setValue(val, check)
+		nodes := g.NodeCount()
+		j.obsNodes.Set(float64(nodes))
+		m.record(j, "iteration", map[string]any{
+			"i": i, "seconds": el, "nodes": nodes,
+		})
+		if j.hooks.OnIteration != nil {
+			j.hooks.OnIteration(i, el, nodes)
+		}
+	}
+	// Final snapshots for in-process callers, taken while the
+	// deployment is still alive.
+	var reports []metrics.Report
+	for _, n := range g.Nodes() {
+		reports = append(reports, n.Report())
+	}
+	j.mu.Lock()
+	j.result.NodeReports = reports
+	j.mu.Unlock()
+	if coord != nil {
+		j.mu.Lock()
+		j.result.Learned = coord.Requirements().String()
+		j.result.History = coord.History()
+		j.result.Annotations = coord.Annotations()
+		j.mu.Unlock()
+	}
+	if j.cancelled() {
+		j.setState(Cancelled)
+		return
+	}
+	j.setState(Done)
+}
+
+// provision bids for the job's MinNodes, retrying as the shared pool
+// frees up. It returns once the target is met, or — after
+// ProvisionPatience — as soon as the job holds at least one node (the
+// master); MinNodes is a target, not a barrier, exactly like the
+// paper's runtime starting before all requested machines arrive.
+func (m *Manager) provision(j *Job, g *satin.Grid) (*satin.Node, error) {
+	target := j.Spec.MinNodes
+	deadline := time.Now().Add(m.cfg.ProvisionPatience)
+	retry := time.NewTicker(25 * time.Millisecond)
+	defer retry.Stop()
+	for {
+		if j.cancelled() {
+			return nil, fmt.Errorf("cancelled while provisioning")
+		}
+		// Round-robin across clusters, one node at a time: the initial
+		// deployment spreads evenly (a multi-cluster job should start
+		// multi-cluster), and partial fair-share grants still make
+		// progress. Later growth goes through the coordinator's
+		// Provision, which prefers clusters already in use.
+		for need := target - g.NodeCount(); need > 0; {
+			progress := false
+			for _, c := range m.cfg.Clusters {
+				if need == 0 {
+					break
+				}
+				if _, err := g.StartNodes(c.Name, 1); err == nil {
+					need--
+					progress = true
+				}
+			}
+			if !progress {
+				break
+			}
+		}
+		n := g.NodeCount()
+		if n >= target || (n >= 1 && time.Now().After(deadline)) {
+			break
+		}
+		select {
+		case <-j.cancelCh:
+		case <-retry.C:
+		}
+	}
+	nodes := g.Nodes()
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("no nodes after provisioning")
+	}
+	// Deterministic master: the lowest node ID the job holds.
+	sort.Slice(nodes, func(a, b int) bool { return nodes[a].ID() < nodes[b].ID() })
+	return nodes[0], nil
+}

@@ -1,0 +1,226 @@
+package job
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/satin"
+)
+
+func fastReg() registry.Options {
+	return registry.Options{
+		HeartbeatInterval: 20 * time.Millisecond,
+		FailureTimeout:    100 * time.Millisecond,
+	}
+}
+
+func testManager(t *testing.T, clusters, nodes int, tune func(*Config)) *Manager {
+	t.Helper()
+	var specs []satin.ClusterSpec
+	for i := 0; i < clusters; i++ {
+		specs = append(specs, satin.ClusterSpec{
+			Name: satin.ClusterID(fmt.Sprintf("fs%d", i)), Nodes: nodes,
+		})
+	}
+	cfg := Config{
+		Clusters:          specs,
+		LANLatency:        50 * time.Microsecond,
+		WANLatency:        time.Millisecond,
+		Registry:          fastReg(),
+		Period:            100 * time.Millisecond,
+		ProvisionPatience: 300 * time.Millisecond,
+		Node: satin.NodeConfig{
+			LocalStealTimeout: 100 * time.Millisecond,
+			WANStealTimeout:   500 * time.Millisecond,
+		},
+	}
+	if tune != nil {
+		tune(&cfg)
+	}
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func waitTerminal(t *testing.T, j *Job, timeout time.Duration) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(timeout):
+		t.Fatalf("%s still %s after %v", j.ID, j.State(), timeout)
+	}
+}
+
+func waitState(t *testing.T, j *Job, want State, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if j.State() == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%s is %s, want %s after %v", j.ID, j.State(), want, timeout)
+}
+
+// TestConcurrentJobsShareOnePool is the service's core promise: four
+// jobs run concurrently over one shared node pool, every one completes
+// with a verified result, and per-job observability stays separate.
+func TestConcurrentJobsShareOnePool(t *testing.T) {
+	m := testManager(t, 2, 2, nil) // capacity 4, one node per job
+	const n = 4
+	jobs := make([]*Job, n)
+	before := make([]uint64, n)
+	for i := range jobs {
+		j, err := m.Submit(Spec{App: "fib", Size: 12, Iters: 2, MinNodes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+		before[i] = obs.Default.Counter("job/" + j.ID + "/iterations").Value()
+	}
+	// All four must be admitted together (MaxActive 8, 4 × MinNodes 1
+	// fits capacity 4) — genuinely concurrent, not serialized.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		running := 0
+		for _, j := range jobs {
+			if s := j.State(); s == Running || s == Provisioning {
+				running++
+			}
+		}
+		if running == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d jobs active concurrently", running, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i, j := range jobs {
+		waitTerminal(t, j, 30*time.Second)
+		if j.State() != Done {
+			t.Fatalf("%s: state %s, err %q", j.ID, j.State(), j.Result().Err)
+		}
+		r := j.Result()
+		if r.Check != "ok" {
+			t.Fatalf("%s: check %q", j.ID, r.Check)
+		}
+		if len(r.Iterations) != 2 {
+			t.Fatalf("%s: %d iterations recorded, want 2", j.ID, len(r.Iterations))
+		}
+		// Per-job counters must not cross-contaminate: each job's series
+		// advanced by exactly its own iterations.
+		got := obs.Default.Counter("job/"+j.ID+"/iterations").Value() - before[i]
+		if got != 2 {
+			t.Fatalf("%s: per-job iteration counter advanced by %d, want 2", j.ID, got)
+		}
+	}
+}
+
+// TestCancelFreesNodesForQueued is the acceptance scenario: cancelling
+// a running job returns its nodes to the shared pool, and a queued job
+// claims them.
+func TestCancelFreesNodesForQueued(t *testing.T) {
+	m := testManager(t, 1, 2, nil) // capacity 2
+	// hog needs both nodes and would run for ~40s if never cancelled
+	// (fib 24 is ~233 cutoff tasks of 3ms per iteration).
+	hog, err := m.Submit(Spec{App: "fib", Size: 24, Iters: 60, MinNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, hog, Running, 10*time.Second)
+	// queued also needs both nodes: admission holds it back (2+2 > 2).
+	queued, err := m.Submit(Spec{App: "fib", Size: 10, MinNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if s := queued.State(); s != Queued {
+		t.Fatalf("second job should be queued behind the hog, is %s", s)
+	}
+	if err := m.Cancel(hog.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, hog, 10*time.Second)
+	if hog.State() != Cancelled {
+		t.Fatalf("hog: state %s, want cancelled", hog.State())
+	}
+	// The freed nodes must let the queued job run to completion.
+	waitTerminal(t, queued, 30*time.Second)
+	if queued.State() != Done || queued.Result().Check != "ok" {
+		t.Fatalf("queued job after cancel: state %s, check %q, err %q",
+			queued.State(), queued.Result().Check, queued.Result().Err)
+	}
+}
+
+// TestNoStarvation: more demand than the grid can hold at once — every
+// job still finishes; nobody waits forever while others get nodes.
+func TestNoStarvation(t *testing.T) {
+	m := testManager(t, 1, 4, nil) // capacity 4
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		j, err := m.Submit(Spec{App: "fib", Size: 11, MinNodes: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		waitTerminal(t, j, 60*time.Second)
+		if j.State() != Done {
+			t.Fatalf("%s: state %s, err %q", j.ID, j.State(), j.Result().Err)
+		}
+	}
+}
+
+// TestSubmitValidation: malformed specs are rejected at the door, not
+// silently ignored.
+func TestSubmitValidation(t *testing.T) {
+	m := testManager(t, 1, 2, nil)
+	for _, tc := range []struct {
+		name string
+		spec Spec
+	}{
+		{"unknown app", Spec{App: "sort", Size: 10}},
+		{"zero size", Spec{App: "fib", Size: 0}},
+		{"min above capacity", Spec{App: "fib", Size: 10, MinNodes: 99}},
+		{"max below min", Spec{App: "fib", Size: 10, MinNodes: 2, MaxNodes: 1}},
+		{"bad shape cluster", Spec{App: "fib", Size: 10, Shape: map[string]float64{"nope": 5000}}},
+		{"bad load value", Spec{App: "fib", Size: 10, Load: map[string]float64{"fs0": -1}}},
+	} {
+		if _, err := m.Submit(tc.spec); err == nil {
+			t.Errorf("%s: accepted, want error", tc.name)
+		}
+	}
+}
+
+// TestDrainCancelsQueuedFinishesRunning: the SIGTERM path.
+func TestDrainCancelsQueuedFinishesRunning(t *testing.T) {
+	m := testManager(t, 1, 2, nil)
+	running, err := m.Submit(Spec{App: "fib", Size: 24, Iters: 3, MinNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, Running, 10*time.Second)
+	queued, err := m.Submit(Spec{App: "fib", Size: 10, MinNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Drain(30 * time.Second)
+	if running.State() != Done {
+		t.Fatalf("running job should finish during drain, is %s", running.State())
+	}
+	if queued.State() != Cancelled {
+		t.Fatalf("queued job should be cancelled by drain, is %s", queued.State())
+	}
+	if _, err := m.Submit(Spec{App: "fib", Size: 10}); err == nil {
+		t.Fatal("submissions during drain must be rejected")
+	}
+}

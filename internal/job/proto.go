@@ -1,0 +1,137 @@
+// The submit/status/cancel/result protocol of the multi-job service,
+// riding the typed wire layer like every other protocol in the
+// repository: each message type is Registered once, requests carry a
+// client-chosen Token and replies echo it, so one control connection
+// can have any number of requests in flight.
+package job
+
+import (
+	"time"
+
+	"repro/internal/transport/wire"
+)
+
+func init() {
+	wire.Register[SubmitRequest]("job-submit")
+	wire.Register[SubmitReply]("job-submit-reply")
+	wire.Register[StatusRequest]("job-status")
+	wire.Register[StatusReply]("job-status-reply")
+	wire.Register[CancelRequest]("job-cancel")
+	wire.Register[CancelReply]("job-cancel-reply")
+	wire.Register[ResultRequest]("job-result")
+	wire.Register[ResultReply]("job-result-reply")
+	wire.Register[PingRequest]("job-ping")
+	wire.Register[PingReply]("job-pong")
+}
+
+// PingRequest probes the control route. Dial retries it until the
+// first PingReply arrives: over the TCP hub, frames sent before the
+// peer has registered are dropped, so the handshake is what upgrades
+// the best-effort link to a usable request channel.
+type PingRequest struct{ Token uint64 }
+
+// PingReply answers a PingRequest.
+type PingReply struct{ Token uint64 }
+
+// Spec describes one job: which application at which size, how often,
+// and how it participates in the shared pool. Tasks are built
+// server-side from App/Size (satin.Task is code, not data — it never
+// crosses the wire).
+type Spec struct {
+	// App names a registered application: fib | nqueens | integrate |
+	// tsp | knapsack | barneshut.
+	App string
+	// Size is the problem size (fib N, queens N, tsp cities, bodies).
+	Size int
+	// Iters repeats the computation (default 1) — the paper's iterative
+	// applications.
+	Iters int
+	// MinNodes is the provisioning target before the run starts
+	// (default 1). It is a target, not a barrier: after
+	// ProvisionPatience the job starts with whatever it holds (at least
+	// the master), and adaptation grows it from there.
+	MinNodes int
+	// MaxNodes caps the job's total allocation (0 = no cap).
+	MaxNodes int
+	// Weight scales the job's fair share of the pool (default 1).
+	Weight float64
+	// Adapt runs the adaptation coordinator next to the job.
+	Adapt bool
+	// Period overrides the manager's monitoring period for this job.
+	Period time.Duration
+	// Shape throttles cluster WAN links (cluster → bytes/s) before the
+	// run starts; Load puts a competing CPU load on a cluster's nodes.
+	Shape map[string]float64
+	Load  map[string]float64
+}
+
+// SubmitRequest asks the service to enqueue a job.
+type SubmitRequest struct {
+	Token uint64
+	Spec  Spec
+}
+
+// SubmitReply carries the assigned job ID, or a validation error.
+type SubmitReply struct {
+	Token uint64
+	ID    string
+	Err   string
+}
+
+// StatusRequest asks for one job's status (ID set) or all jobs'.
+type StatusRequest struct {
+	Token uint64
+	ID    string
+}
+
+// JobStatus is one job's externally visible state.
+type JobStatus struct {
+	ID      string
+	App     string
+	Size    int
+	Iters   int
+	State   string
+	Nodes   int     // live nodes the job holds right now
+	Done    int     // iterations completed
+	Seconds float64 // busy seconds so far (running) or total (finished)
+	Err     string
+}
+
+// StatusReply answers a StatusRequest.
+type StatusReply struct {
+	Token uint64
+	Jobs  []JobStatus
+	Err   string
+}
+
+// CancelRequest asks the service to cancel a queued or running job.
+type CancelRequest struct {
+	Token uint64
+	ID    string
+}
+
+// CancelReply acknowledges a cancel.
+type CancelReply struct {
+	Token uint64
+	Err   string
+}
+
+// ResultRequest fetches a job's result; Wait blocks the reply until
+// the job reaches a terminal state.
+type ResultRequest struct {
+	Token uint64
+	ID    string
+	Wait  bool
+}
+
+// ResultReply carries the formatted result of a finished job.
+type ResultReply struct {
+	Token      uint64
+	ID         string
+	State      string
+	Result     string    // formatted final value
+	Check      string    // "", "ok", or "WRONG RESULT: ..."
+	Iterations []float64 // seconds per iteration
+	Learned    string    // coordinator requirements, when adaptive
+	Err        string
+}

@@ -1,0 +1,111 @@
+package job
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+)
+
+// EndpointName is the service's well-known control endpoint.
+const EndpointName = "satind"
+
+// Server exposes a Manager over the wire protocol. Handlers run on
+// fabric delivery goroutines, so anything that can block (a waiting
+// result fetch) is answered from its own goroutine.
+type Server struct {
+	m  *Manager
+	wc *wire.Conn
+}
+
+// Serve attaches the control endpoint to the fabric.
+func Serve(f transport.Fabric, m *Manager) (*Server, error) {
+	ep, err := f.Endpoint(EndpointName)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{m: m, wc: wire.New(ep)}
+	wire.Handle(s.wc, s.onSubmit)
+	wire.Handle(s.wc, s.onStatus)
+	wire.Handle(s.wc, s.onCancel)
+	wire.Handle(s.wc, s.onResult)
+	wire.Handle(s.wc, func(req PingRequest, m wire.Meta) {
+		_ = wire.Send(s.wc, m.From, PingReply{Token: req.Token})
+	})
+	return s, nil
+}
+
+// Close detaches the control endpoint.
+func (s *Server) Close() { s.wc.Close() }
+
+func (s *Server) onSubmit(req SubmitRequest, m wire.Meta) {
+	reply := SubmitReply{Token: req.Token}
+	if j, err := s.m.Submit(req.Spec); err != nil {
+		reply.Err = err.Error()
+	} else {
+		reply.ID = j.ID
+	}
+	_ = wire.Send(s.wc, m.From, reply)
+}
+
+func (s *Server) onStatus(req StatusRequest, m wire.Meta) {
+	reply := StatusReply{Token: req.Token}
+	if req.ID != "" {
+		j := s.m.Job(req.ID)
+		if j == nil {
+			reply.Err = fmt.Sprintf("unknown job %q", req.ID)
+		} else {
+			reply.Jobs = []JobStatus{j.Status()}
+		}
+	} else {
+		for _, j := range s.m.Jobs() {
+			reply.Jobs = append(reply.Jobs, j.Status())
+		}
+	}
+	_ = wire.Send(s.wc, m.From, reply)
+}
+
+func (s *Server) onCancel(req CancelRequest, m wire.Meta) {
+	reply := CancelReply{Token: req.Token}
+	if err := s.m.Cancel(req.ID); err != nil {
+		reply.Err = err.Error()
+	}
+	_ = wire.Send(s.wc, m.From, reply)
+}
+
+func (s *Server) onResult(req ResultRequest, m wire.Meta) {
+	j := s.m.Job(req.ID)
+	if j == nil {
+		_ = wire.Send(s.wc, m.From, ResultReply{
+			Token: req.Token, ID: req.ID,
+			Err: fmt.Sprintf("unknown job %q", req.ID),
+		})
+		return
+	}
+	send := func() {
+		r := j.Result()
+		reply := ResultReply{
+			Token:      req.Token,
+			ID:         j.ID,
+			State:      j.State().String(),
+			Result:     r.Formatted,
+			Check:      r.Check,
+			Iterations: r.Iterations,
+			Learned:    r.Learned,
+			Err:        r.Err,
+		}
+		if !j.State().Terminal() && !req.Wait {
+			reply.Err = fmt.Sprintf("job %s is %s (use wait)", j.ID, j.State())
+		}
+		_ = wire.Send(s.wc, m.From, reply)
+	}
+	if req.Wait && !j.State().Terminal() {
+		// Block off the fabric goroutine.
+		go func() {
+			<-j.Done()
+			send()
+		}()
+		return
+	}
+	send()
+}

@@ -1,0 +1,94 @@
+package job
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/satin"
+)
+
+// BuildTask turns an application name and problem size into a root
+// task plus an optional correctness check. It is the single place the
+// service and satinrun map the -app flag onto internal/apps, so submit
+// validation and execution can never disagree on what is runnable.
+func BuildTask(app string, size int) (satin.Task, func(any) bool, error) {
+	if size < 1 {
+		return nil, nil, fmt.Errorf("size must be >= 1, got %d", size)
+	}
+	switch app {
+	case "fib":
+		want := apps.FibLeaves(size)
+		return apps.Fib{N: size, SeqCutoff: 12, LeafDelay: 3 * time.Millisecond},
+			func(v any) bool { return v.(int) == want }, nil
+	case "nqueens":
+		want := apps.QueensSolutions(size)
+		return apps.NQueens{N: size, SpawnDepth: 3},
+			func(v any) bool { return want < 0 || v.(int) == want }, nil
+	case "integrate":
+		return apps.Integrate{Fn: "spiky", A: -3, B: 3, Eps: 1e-10}, nil, nil
+	case "tsp":
+		return apps.NewTSP(apps.RandomCities(size, 42), 3), nil, nil
+	case "knapsack":
+		k := apps.RandomKnapsack(size, 42)
+		want := apps.KnapsackDP(k.Weights, k.Values, k.Capacity)
+		return k, func(v any) bool { return v.(int) == want }, nil
+	case "barneshut":
+		bodies := apps.Plummer(size, 42)
+		return apps.BHForces{Bodies: bodies, Lo: 0, Hi: len(bodies), Theta: 0.5, Grain: 128},
+			func(v any) bool { return len(v.([]apps.Accel)) == len(bodies) }, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown app %q (fib | nqueens | integrate | tsp | knapsack | barneshut)", app)
+	}
+}
+
+// ParseKV parses a "cluster=value" disturbance spec (-shape fs1=5000,
+// -load fs1=3) and validates the cluster against the deployment:
+// unknown cluster names, non-numeric and non-positive values are
+// errors, never silently ignored.
+func ParseKV(spec string, clusters []satin.ClusterSpec) (satin.ClusterID, float64, error) {
+	name, val, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return "", 0, fmt.Errorf("expected cluster=value, got %q", spec)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad value in %q: %v", spec, err)
+	}
+	if v <= 0 {
+		return "", 0, fmt.Errorf("value in %q must be > 0", spec)
+	}
+	for _, c := range clusters {
+		if string(c.Name) == name {
+			return c.Name, v, nil
+		}
+	}
+	return "", 0, fmt.Errorf("unknown cluster %q in %q (have %s)", name, spec, clusterNames(clusters))
+}
+
+func clusterNames(clusters []satin.ClusterSpec) string {
+	names := make([]string, len(clusters))
+	for i, c := range clusters {
+		names[i] = string(c.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// formatValue renders a job's final value for the result protocol.
+// Aggregate results (e.g. barneshut's acceleration slice) are
+// summarised, not dumped.
+func formatValue(v any) string {
+	switch t := v.(type) {
+	case nil:
+		return ""
+	case []apps.Accel:
+		return fmt.Sprintf("[%d accelerations]", len(t))
+	}
+	s := fmt.Sprintf("%v", v)
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}

@@ -1,0 +1,41 @@
+// Package sigdrain is the binaries' shared SIGINT/SIGTERM handling:
+// the first signal triggers a graceful drain (finish or cancel jobs,
+// flush the recorder) and exits with the drain's code; a second signal
+// while draining force-exits immediately. Both satinrun and satind
+// install it, so ctrl-C never leaves half-flushed observability or
+// orphaned jobs.
+package sigdrain
+
+import (
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Install starts watching for SIGINT/SIGTERM. On the first signal the
+// drain function runs once and the process exits with its return
+// value; a second signal during the drain exits 130 at once. The
+// returned release function uninstalls the handler (for a clean
+// natural exit).
+func Install(name string, drain func() int) (release func()) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			log.Printf("%s: received %v, draining (signal again to force quit)", name, sig)
+			go func() {
+				<-ch
+				os.Exit(130)
+			}()
+			os.Exit(drain())
+		case <-done:
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

@@ -24,12 +24,40 @@ type ClusterSpec struct {
 	Coordinator string
 }
 
+// NodePool is the scheduler substrate a grid allocates processors
+// from. A private *sched.Pool (built by NewGrid when Pool is nil)
+// preserves the single-job behaviour: the grid owns all capacity. A
+// shared pool.Client hands the grid a fair-share-arbitrated slice of a
+// pool owned by the multi-job service, so several grids in one process
+// bid for the same processors instead of each assuming it owns them.
+type NodePool interface {
+	// AcquireN hands out up to n free nodes of one cluster.
+	AcquireN(cluster ClusterID, n int) []sched.NodeRef
+	// RequestBandwidth allocates up to n nodes, locality-aware, skipping
+	// clusters below the minimum uplink bandwidth (0 = no bound).
+	RequestBandwidth(n int, prefer []ClusterID, veto sched.Filter, minBW float64) []sched.NodeRef
+	// Release returns a node to the pool (graceful leave).
+	Release(ref sched.NodeRef)
+	// FreeIn returns the free node count of one cluster.
+	FreeIn(cluster ClusterID) int
+	// MarkDead permanently removes a crashed node.
+	MarkDead(node NodeID)
+}
+
 // GridConfig describes an emulated multi-cluster deployment: clusters
 // joined by WAN links, all inside one process. The link emulation
 // (latency + bandwidth, shapeable at runtime) is what lets the real
 // runtime reproduce the paper's scenarios without five universities.
 type GridConfig struct {
 	Clusters []ClusterSpec
+
+	// Pool, when set, is the shared node pool this grid allocates from
+	// (typically a pool.Client with fair-share arbitration). The grid
+	// then never assumes it owns the scheduler: every StartNodes and
+	// Provision is a bid that may be granted only partially. Nil means
+	// the grid builds a private pool over Clusters — the single-job
+	// behaviour.
+	Pool NodePool
 
 	LANLatency   time.Duration // default 200µs
 	WANLatency   time.Duration // default 5ms
@@ -84,7 +112,7 @@ type Grid struct {
 	inproc *transport.InProc // the raw emulated network (owned, closed last)
 	fabric transport.Fabric  // what everyone attaches to (possibly wrapped)
 	regSrv *registry.Server
-	pool   *sched.Pool
+	pool   NodePool
 
 	mu     sync.Mutex
 	nodes  map[NodeID]*Node
@@ -99,17 +127,24 @@ func NewGrid(cfg GridConfig) (*Grid, error) {
 	if len(cfg.Clusters) == 0 {
 		return nil, fmt.Errorf("satin: grid needs at least one cluster")
 	}
-	var t topo.Topology
-	for _, c := range cfg.Clusters {
-		t.Clusters = append(t.Clusters, topo.Cluster{
-			ID: c.Name, Nodes: c.Nodes, Speed: 1,
-			LANLatency: cfg.LANLatency.Seconds(), LANBandwidth: cfg.LANBandwidth,
-			WANLatency: cfg.WANLatency.Seconds() / 2, UplinkBandwidth: cfg.WANBandwidth,
-		})
-	}
-	pool, err := sched.NewPool(t)
-	if err != nil {
-		return nil, err
+	pool := cfg.Pool
+	if pool == nil {
+		// Single-job deployment: the grid owns a private pool over its
+		// own clusters. A multi-job service passes a shared pool.Client
+		// instead, so capacity is arbitrated across grids.
+		var t topo.Topology
+		for _, c := range cfg.Clusters {
+			t.Clusters = append(t.Clusters, topo.Cluster{
+				ID: c.Name, Nodes: c.Nodes, Speed: 1,
+				LANLatency: cfg.LANLatency.Seconds(), LANBandwidth: cfg.LANBandwidth,
+				WANLatency: cfg.WANLatency.Seconds() / 2, UplinkBandwidth: cfg.WANBandwidth,
+			})
+		}
+		p, err := sched.NewPool(t)
+		if err != nil {
+			return nil, err
+		}
+		pool = p
 	}
 	g := &Grid{
 		cfg:    cfg,
@@ -134,7 +169,7 @@ func NewGrid(cfg GridConfig) (*Grid, error) {
 	}
 	if cfg.Seed != 0 {
 		g.cfg.Node.Seed = cfg.Seed
-		log.Printf("satin: grid seed=%d (%d clusters, %d nodes)", cfg.Seed, len(cfg.Clusters), t.TotalNodes())
+		log.Printf("satin: grid seed=%d (%d clusters)", cfg.Seed, len(cfg.Clusters))
 	}
 	srv, err := registry.NewServer(g.fabric, cfg.Registry)
 	if err != nil {
