@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify gridsim chaos bench satind-smoke
+.PHONY: build test vet race verify gridsim chaos bench bench-check fuzz-smoke satind-smoke
 
 build:
 	$(GO) build ./...
@@ -30,10 +30,29 @@ gridsim:
 # Deque/steal/runtime microbenchmarks (one iteration each: a smoke run
 # that proves every benchmark still compiles and executes; for timing
 # numbers use -benchtime/-count as in EXPERIMENTS.md), followed by the
-# JSON baseline harness CI archives per PR (cmd/bench).
+# JSON baseline harness CI archives per PR (cmd/bench). Refreshes the
+# committed BENCH_6.json.
 bench:
-	$(GO) test -run=NONE -bench=. -benchtime=1x -count=1 ./internal/deque ./internal/steal ./satin
-	$(GO) run ./cmd/bench -out BENCH_5.json
+	$(GO) test -run=NONE -bench=. -benchtime=1x -count=1 ./internal/deque ./internal/steal ./satin ./internal/transport/wire
+	$(GO) run ./cmd/bench -out BENCH_6.json
+
+# Regression gate: run the harness fresh and compare against the
+# committed baseline, failing on >35% ns/op (or alloc) regression on
+# any shared benchmark (e2e arms get 3x slack). Single runs of the
+# sub-microsecond kernels swing ~20% run-to-run on a shared 1-CPU
+# runner, so the gate is sized to catch real regressions (2x), not
+# scheduler noise.
+bench-check:
+	$(GO) run ./cmd/bench -out BENCH_6.ci.json -against BENCH_6.json -tolerance 0.35
+
+# Short fuzz smoke over the adversarial-input decoders (`go test -fuzz`
+# accepts one target per invocation, hence one line each): the wirefmt
+# reader, the binary control-frame decoder, and the batch envelope
+# parser.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzReader -fuzztime=10s ./internal/wirefmt
+	$(GO) test -run=NONE -fuzz=FuzzBinaryFrameDecode -fuzztime=10s ./internal/transport/wire
+	$(GO) test -run=NONE -fuzz=FuzzBatchEnvelope -fuzztime=10s ./internal/transport/wire
 
 # End-to-end smoke of the multi-job service: start satind, run two
 # jobs concurrently through the client, check results and per-job

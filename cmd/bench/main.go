@@ -5,14 +5,22 @@
 //
 //   - deque: lock-free Chase–Lev push/pop (the spawn/sync hot path)
 //   - steal_kernel: one CRS Next/SyncDone round against a 16-node view
-//   - wire_roundtrip: a typed frame through the session codec and an
-//     ideal in-process fabric
+//   - wire_roundtrip: a typed frame through the binary control-frame
+//     codec and an ideal in-process fabric (the production path since
+//     ISSUE 7)
+//   - wire_roundtrip_session_gob: the same frame through the session
+//     gob stream — the historical arm, kept so the codec switch stays
+//     measurable against BENCH_5
 //   - spawn_sync: end-to-end spawn+execute+sync of 256 children on one
 //     live satin node
 //   - fib_e2e: fib(20) across 2 clusters x 2 nodes — steals, WAN
 //     emulation and accounting included
 //
-// Usage: bench [-out BENCH_5.json] [-skip-e2e]
+// With -against, the fresh results are compared to a committed
+// baseline document and any shared benchmark that regressed beyond the
+// tolerance fails the run — the CI regression gate.
+//
+// Usage: bench [-out BENCH_6.json] [-against BENCH_6.json] [-skip-e2e]
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -31,6 +40,7 @@ import (
 	"repro/internal/steal"
 	"repro/internal/transport"
 	"repro/internal/transport/wire"
+	"repro/internal/wirefmt"
 	"repro/satin"
 )
 
@@ -66,7 +76,8 @@ type nop struct{}
 
 func (nop) Execute(*satin.Context) (any, error) { return nil, nil }
 
-// benchPayload mirrors the shape of satin's steal-reply message.
+// benchPayload mirrors the shape of satin's steal-reply message. It
+// has no binary codec on purpose: it keeps the session-gob arm honest.
 type benchPayload struct {
 	Seq    uint64
 	HasJob bool
@@ -75,10 +86,43 @@ type benchPayload struct {
 	Args   [4]int
 }
 
+// benchPayloadBin is the same shape with the hand-rolled binary codec,
+// as the production control frames encode since ISSUE 7.
+type benchPayloadBin struct {
+	Seq    uint64
+	HasJob bool
+	ID     uint64
+	Owner  string
+	Args   [4]int
+}
+
+func (m *benchPayloadBin) AppendWire(b []byte) ([]byte, error) {
+	b = wirefmt.AppendUvarint(b, m.Seq)
+	b = wirefmt.AppendBool(b, m.HasJob)
+	b = wirefmt.AppendUvarint(b, m.ID)
+	b = wirefmt.AppendString(b, m.Owner)
+	for _, a := range m.Args {
+		b = wirefmt.AppendVarint(b, int64(a))
+	}
+	return b, nil
+}
+
+func (m *benchPayloadBin) DecodeWire(r *wirefmt.Reader) error {
+	m.Seq = r.Uvarint()
+	m.HasJob = r.Bool()
+	m.ID = r.Uvarint()
+	m.Owner = r.String()
+	for i := range m.Args {
+		m.Args[i] = int(r.Varint())
+	}
+	return r.Err()
+}
+
 func init() {
 	satin.Register(spawnN{})
 	satin.Register(nop{})
 	wire.Register[benchPayload]("bench-payload")
+	wire.Register[benchPayloadBin]("bench-payload-bin")
 }
 
 func fastReg() registry.Options {
@@ -89,7 +133,9 @@ func fastReg() registry.Options {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "output JSON path (- for stdout)")
+	out := flag.String("out", "BENCH_6.json", "output JSON path (- for stdout)")
+	against := flag.String("against", "", "baseline JSON document; fail on regression beyond tolerance")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression vs -against")
 	skipE2E := flag.Bool("skip-e2e", false, "skip the multi-node end-to-end benchmarks")
 	flag.Parse()
 
@@ -116,6 +162,7 @@ func main() {
 	run("deque", benchDeque)
 	run("steal_kernel", benchStealKernel)
 	run("wire_roundtrip", benchWireRoundTrip)
+	run("wire_roundtrip_session_gob", benchWireRoundTripGob)
 	if !*skipE2E {
 		run("spawn_sync", benchSpawnSync)
 		run("fib_e2e", benchFibE2E)
@@ -129,13 +176,69 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: wrote %s (%d results)\n", *out, len(doc.Results))
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-		os.Exit(1)
+	if *against != "" {
+		if err := compare(*against, doc, *tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: no regression beyond %.0f%% vs %s\n", *tolerance*100, *against)
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %s (%d results)\n", *out, len(doc.Results))
+}
+
+// e2eNames are the live multi-goroutine benchmarks: their wall time on
+// a shared CI runner is noisy, so they get triple the tolerance of the
+// single-threaded microbenchmarks.
+var e2eNames = map[string]bool{"spawn_sync": true, "fib_e2e": true}
+
+// compare fails when any benchmark shared between doc and the baseline
+// regressed in ns/op beyond the tolerance, or allocated meaningfully
+// more. Benchmarks present on only one side are ignored, so arms can
+// be added or retired without breaking the gate.
+func compare(path string, doc document, tol float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base document
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	byName := make(map[string]result, len(base.Results))
+	for _, r := range base.Results {
+		byName[r.Name] = r
+	}
+	var bad []string
+	for _, r := range doc.Results {
+		b, ok := byName[r.Name]
+		if !ok {
+			continue
+		}
+		allowed := tol
+		if e2eNames[r.Name] {
+			allowed = 3 * tol
+		}
+		if r.NsPerOp > b.NsPerOp*(1+allowed) {
+			bad = append(bad, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (+%.0f%% > %.0f%% allowed)",
+				r.Name, r.NsPerOp, b.NsPerOp, (r.NsPerOp/b.NsPerOp-1)*100, allowed*100))
+		}
+		// Allocations are deterministic per op; a small absolute slack
+		// absorbs runtime background noise around zero-alloc baselines.
+		if float64(r.AllocsPerOp) > float64(b.AllocsPerOp)*(1+allowed)+8 {
+			bad = append(bad, fmt.Sprintf("%s: %d allocs/op vs baseline %d",
+				r.Name, r.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("regressions vs %s:\n  %s", path, strings.Join(bad, "\n  "))
+	}
+	return nil
 }
 
 // benchDeque: one op = push then pop at the owner end.
@@ -169,18 +272,47 @@ func benchStealKernel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d := eng.Next(float64(i), members)
-		if d.Sync != nil {
+		if d.HasSync {
 			eng.SyncDone(false)
 		}
-		if d.Async != nil {
+		if d.HasAsync {
 			eng.AsyncDone(false)
 		}
 	}
 }
 
-// benchWireRoundTrip: one op = one typed frame encoded, delivered
-// through an ideal in-process fabric, decoded and dispatched.
+// benchWireRoundTrip: one op = one typed frame through the binary
+// control-frame codec, delivered through an ideal in-process fabric,
+// decoded and dispatched — the production control path.
 func benchWireRoundTrip(b *testing.B) {
+	f := transport.NewInProc(nil)
+	defer f.Close()
+	epA, err := f.Endpoint("a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	epB, err := f.Endpoint("b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ca, cb := wire.New(epA), wire.New(epB)
+	done := make(chan struct{}, 1)
+	wire.Handle(cb, func(v benchPayloadBin, _ wire.Meta) { done <- struct{}{} })
+	v := benchPayloadBin{Seq: 42, HasJob: true, ID: 7, Owner: "fs0/03", Args: [4]int{1, 2, 3, 4}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wire.Send(ca, "b", v); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+	}
+}
+
+// benchWireRoundTripGob: the historical arm — the same frame shape
+// through the session gob stream, as every control frame travelled
+// before ISSUE 7.
+func benchWireRoundTripGob(b *testing.B) {
 	f := transport.NewInProc(nil)
 	defer f.Close()
 	epA, err := f.Endpoint("a")

@@ -83,10 +83,15 @@ func (d *Deque[T]) newNode() *T {
 
 // recycle zeroes a popped node (releasing its payload) and caches it
 // for the next Push. Owner only; only owner-popped nodes may enter.
+// The cache is bounded by the ring capacity, which itself tracks the
+// deepest burst seen: a spawn burst of N jobs pops N nodes, and all N
+// must come back recyclable or every later burst re-allocates the
+// overflow (the spawn-sync hot path's dominant allocation before
+// ISSUE 7).
 func (d *Deque[T]) recycle(p *T) {
 	var zero T
 	*p = zero
-	if len(d.free) < 64 {
+	if int64(len(d.free)) < int64(len(d.arr.Load().slots)) {
 		d.free = append(d.free, p)
 	}
 }

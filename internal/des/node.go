@@ -75,13 +75,13 @@ func (s *Sim) tryStealing(n *simNode) {
 		}
 	}
 	d := n.eng.Next(float64(s.k.Now()), members)
-	if d.Async != nil {
+	if d.HasAsync {
 		s.sendSteal(n, s.nodes[d.Async.ID], true, true)
 	}
-	if d.Sync != nil {
+	if d.HasSync {
 		v := s.nodes[d.Sync.ID]
 		s.sendSteal(n, v, v.cluster != n.cluster, false)
-	} else if d.Async == nil && !n.eng.Outstanding() {
+	} else if !d.HasAsync && !n.eng.Outstanding() {
 		// Nobody to steal from at all: back off and retry.
 		s.scheduleRetry(n)
 	}

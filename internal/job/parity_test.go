@@ -1,0 +1,66 @@
+package job
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/wirefmt"
+	"repro/internal/wirefmt/frametest"
+)
+
+// TestWireParity is the ISSUE 7 golden suite for the job-service
+// protocol: all ten registered kinds through both codecs over zero
+// values, max integers, negative sizes, unicode strings, empty and
+// populated maps and slices.
+func TestWireParity(t *testing.T) {
+	frametest.Parity[PingRequest, *PingRequest](t, []PingRequest{{}, {Token: ^uint64(0)}})
+	frametest.Parity[PingReply, *PingReply](t, []PingReply{{}, {Token: 1}})
+	frametest.Parity[SubmitRequest, *SubmitRequest](t, []SubmitRequest{
+		{},
+		{Token: 7, Spec: Spec{App: "fib", Size: 30, Iters: 3, MinNodes: 2, MaxNodes: 8, Weight: 1.5, Adapt: true, Period: 2 * time.Second}},
+		{Token: ^uint64(0), Spec: Spec{
+			App: "nqueens-ü", Size: math.MaxInt32, Iters: -1,
+			Period: -time.Hour,
+			Shape:  map[string]float64{"c0": 1e6, "grappe-é": 0.5},
+			Load:   map[string]float64{},
+		}},
+	})
+	frametest.Parity[SubmitReply, *SubmitReply](t, []SubmitReply{
+		{},
+		{Token: 1, ID: "job-0001", Err: "недопустимый spec"},
+	})
+	frametest.Parity[StatusRequest, *StatusRequest](t, []StatusRequest{{}, {Token: 2, ID: "job-0002"}})
+	frametest.Parity[StatusReply, *StatusReply](t, []StatusReply{
+		{},
+		{Token: 3, Jobs: []JobStatus{}},
+		{Token: 4, Jobs: []JobStatus{
+			{ID: "job-1", App: "tsp", Size: 12, Iters: 1, State: "running", Nodes: 5, Done: 0, Seconds: 1.5},
+			{ID: "job-2", App: "fib", State: "failed", Err: "boom"},
+		}, Err: ""},
+	})
+	frametest.Parity[CancelRequest, *CancelRequest](t, []CancelRequest{{}, {Token: 5, ID: "job-5"}})
+	frametest.Parity[CancelReply, *CancelReply](t, []CancelReply{{}, {Token: 6, Err: "unknown job"}})
+	frametest.Parity[ResultRequest, *ResultRequest](t, []ResultRequest{{}, {Token: 7, ID: "job-7", Wait: true}})
+	frametest.Parity[ResultReply, *ResultReply](t, []ResultReply{
+		{},
+		{Token: 8, ID: "job-8", State: "done", Result: "832040", Check: "ok",
+			Iterations: []float64{1.25, 2.5, math.Inf(1)}, Learned: "minBW=1e6"},
+		{Token: 9, Iterations: []float64{}},
+	})
+}
+
+func TestWireCorrupt(t *testing.T) {
+	enc := func(f wirefmt.Frame) []byte {
+		b, err := f.AppendWire(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	frametest.Corrupt[SubmitRequest, *SubmitRequest](t, enc(&SubmitRequest{Token: 1, Spec: Spec{
+		App: "fib", Size: 30, Period: time.Second, Shape: map[string]float64{"c0": 1}, Load: map[string]float64{"c1": 2},
+	}}))
+	frametest.Corrupt[StatusReply, *StatusReply](t, enc(&StatusReply{Token: 2, Jobs: []JobStatus{{ID: "j", App: "a", Seconds: 1}}}))
+	frametest.Corrupt[ResultReply, *ResultReply](t, enc(&ResultReply{Token: 3, ID: "j", Iterations: []float64{1, 2}}))
+}

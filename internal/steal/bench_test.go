@@ -31,10 +31,10 @@ func benchNext(b *testing.B, p Policy) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d := e.Next(0, ms)
-		if d.Sync != nil {
+		if d.HasSync {
 			e.SyncDone(false)
 		}
-		if d.Async != nil {
+		if d.HasAsync {
 			e.AsyncDone(false)
 		}
 	}

@@ -57,18 +57,24 @@ type Member struct {
 }
 
 // Directive is the kernel's output for one steal round: whom to
-// contact on which slot. Nil victims mean the slot is occupied or has
-// no candidates.
+// contact on which slot. It is a plain value — the steal decision sits
+// on every idle node's hot path, and a by-value directive with
+// presence flags keeps it allocation-free — so check HasSync/HasAsync
+// before touching the victims.
 type Directive struct {
 	// Sync is the synchronous victim (CRS: always same-cluster;
-	// Random: anyone).
-	Sync *Member
+	// Random: anyone); meaningful only when HasSync.
+	Sync Member
+	// HasSync reports that the synchronous slot was filled this round.
+	HasSync bool
 	// SyncWide reports that Sync sits in another cluster, so the
 	// caller blocks on a WAN round trip (Random policy only).
 	SyncWide bool
 	// Async is the single outstanding asynchronous wide-area victim
-	// (CRS only).
-	Async *Member
+	// (CRS only); meaningful only when HasAsync.
+	Async Member
+	// HasAsync reports that the asynchronous slot was filled this round.
+	HasAsync bool
 }
 
 // Stats counts the attempts an engine issued. SyncWide is the number
@@ -107,6 +113,10 @@ type Engine struct {
 	asyncSince float64 // engine time the async steal was issued
 	failStreak int
 	stats      Stats
+
+	// scratch candidate buffers reused across Next calls (guarded by
+	// mu), so victim selection allocates nothing in steady state.
+	locals, remotes []Member
 }
 
 // New builds an engine for one node. seed is the node's stream (use
@@ -133,18 +143,20 @@ func (e *Engine) Next(now float64, members []Member) Directive {
 		if e.syncOut {
 			return d
 		}
-		var all []Member
+		all := e.locals[:0]
 		for _, m := range members {
 			if m.ID != e.self {
 				all = append(all, m)
 			}
 		}
+		e.locals = all
 		if len(all) == 0 {
 			return d
 		}
 		v := all[e.rng.Intn(len(all))]
 		e.syncOut = true
-		d.Sync = &v
+		d.Sync = v
+		d.HasSync = true
 		d.SyncWide = v.Cluster != e.cluster
 		if d.SyncWide {
 			e.stats.SyncWide++
@@ -158,7 +170,7 @@ func (e *Engine) Next(now float64, members []Member) Directive {
 	// CRS: async (wide-area) slot first, then the synchronous local
 	// slot — the draw order both runtimes historically used, kept so
 	// one RNG stream drives both identically.
-	var locals, remotes []Member
+	locals, remotes := e.locals[:0], e.remotes[:0]
 	for _, m := range members {
 		if m.ID == e.self {
 			continue
@@ -169,20 +181,21 @@ func (e *Engine) Next(now float64, members []Member) Directive {
 			remotes = append(remotes, m)
 		}
 	}
+	e.locals, e.remotes = locals, remotes
 	if !e.asyncOut && len(remotes) > 0 {
-		v := remotes[e.rng.Intn(len(remotes))]
+		d.Async = remotes[e.rng.Intn(len(remotes))]
+		d.HasAsync = true
 		e.asyncOut = true
 		e.asyncSince = now
 		e.stats.Async++
 		obsAsync.Inc()
-		d.Async = &v
 	}
 	if !e.syncOut && len(locals) > 0 {
-		v := locals[e.rng.Intn(len(locals))]
+		d.Sync = locals[e.rng.Intn(len(locals))]
+		d.HasSync = true
 		e.syncOut = true
 		e.stats.SyncLocal++
 		obsSyncLocal.Inc()
-		d.Sync = &v
 	}
 	return d
 }

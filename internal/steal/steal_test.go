@@ -21,7 +21,7 @@ func TestCRSSlotDiscipline(t *testing.T) {
 	ms := members("c0/01", "c0/02", "c1/00", "c1/01")
 
 	d := e.Next(0, ms)
-	if d.Async == nil || d.Sync == nil {
+	if !d.HasAsync || !d.HasSync {
 		t.Fatalf("first round should fill both slots: %+v", d)
 	}
 	if d.Async.Cluster == "c0" {
@@ -31,14 +31,14 @@ func TestCRSSlotDiscipline(t *testing.T) {
 		t.Fatalf("CRS sync victim must be local: %+v", d)
 	}
 	// Both slots occupied: nothing new until a completion.
-	if d2 := e.Next(0, ms); d2.Async != nil || d2.Sync != nil {
+	if d2 := e.Next(0, ms); d2.HasAsync || d2.HasSync {
 		t.Fatalf("slots full but Next issued %+v", d2)
 	}
 	if !e.Outstanding() {
 		t.Fatal("Outstanding = false with both slots in flight")
 	}
 	e.SyncDone(false)
-	if d3 := e.Next(0, ms); d3.Sync == nil || d3.Async != nil {
+	if d3 := e.Next(0, ms); !d3.HasSync || d3.HasAsync {
 		t.Fatalf("after SyncDone only the sync slot should refill: %+v", d3)
 	}
 	e.AsyncDone(false)
@@ -53,13 +53,13 @@ func TestCRSNeverStealsWideSynchronously(t *testing.T) {
 	ms := members("c0/01", "c1/00", "c1/01", "c2/00")
 	for i := 0; i < 200; i++ {
 		d := e.Next(float64(i), ms)
-		if d.Sync != nil {
+		if d.HasSync {
 			if d.SyncWide || d.Sync.Cluster != "c0" {
 				t.Fatalf("round %d: CRS issued a synchronous WAN steal: %+v", i, d)
 			}
 			e.SyncDone(false)
 		}
-		if d.Async != nil {
+		if d.HasAsync {
 			e.AsyncDone(false)
 		}
 	}
@@ -71,10 +71,10 @@ func TestCRSNeverStealsWideSynchronously(t *testing.T) {
 func TestCRSOnlyLocalsNoAsync(t *testing.T) {
 	e := New(CRS, "c0/00", "c0", 3)
 	d := e.Next(0, members("c0/01", "c0/02"))
-	if d.Async != nil {
+	if d.HasAsync {
 		t.Fatalf("no remote clusters but async victim %v", d.Async)
 	}
-	if d.Sync == nil {
+	if !d.HasSync {
 		t.Fatal("local candidates but no sync victim")
 	}
 }
@@ -85,10 +85,10 @@ func TestRandomPaysWANSynchronously(t *testing.T) {
 	sawWide := false
 	for i := 0; i < 100; i++ {
 		d := e.Next(0, ms)
-		if d.Async != nil {
+		if d.HasAsync {
 			t.Fatalf("Random policy issued an async steal: %+v", d)
 		}
-		if d.Sync == nil {
+		if !d.HasSync {
 			t.Fatal("candidates available but no victim")
 		}
 		if d.SyncWide {
@@ -111,7 +111,7 @@ func TestNoCandidates(t *testing.T) {
 	for _, p := range []Policy{CRS, Random} {
 		e := New(p, "c0/00", "c0", 1)
 		d := e.Next(0, members("c0/00")) // only ourselves
-		if d.Sync != nil || d.Async != nil {
+		if d.HasSync || d.HasAsync {
 			t.Fatalf("policy %v stole from itself: %+v", p, d)
 		}
 	}
@@ -144,7 +144,7 @@ func TestAsyncStalledThreshold(t *testing.T) {
 	e := New(CRS, "c0/00", "c0", 1)
 	ms := members("c1/00")
 	d := e.Next(10.0, ms)
-	if d.Async == nil {
+	if !d.HasAsync {
 		t.Fatal("no async steal issued")
 	}
 	if e.AsyncStalled(10.02, 0.05) {
@@ -204,16 +204,16 @@ func TestCrossRuntimeVictimParity(t *testing.T) {
 		var seq []core.NodeID
 		for i, step := range script {
 			d := e.Next(float64(i), step.members)
-			if d.Async != nil {
+			if d.HasAsync {
 				seq = append(seq, d.Async.ID)
 			}
-			if d.Sync != nil {
+			if d.HasSync {
 				seq = append(seq, d.Sync.ID)
 			}
-			if d.Sync != nil {
+			if d.HasSync {
 				e.SyncDone(step.syncGot)
 			}
-			if d.Async != nil {
+			if d.HasAsync {
 				e.AsyncDone(step.asyncGot)
 			}
 		}

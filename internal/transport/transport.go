@@ -16,6 +16,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 )
@@ -70,13 +71,17 @@ type LinkParams struct {
 // It is consulted per send, so shaping changes take effect immediately.
 type LinkFunc func(from, to string) LinkParams
 
-// InProc is the in-process fabric.
+// InProc is the in-process fabric. Each directed endpoint pair owns a
+// long-lived link worker draining a double-buffered queue: a send is
+// an append plus a condition signal instead of a goroutine spawn, and
+// per-pair FIFO falls out of the single consumer rather than a chain
+// of predecessor channels.
 type InProc struct {
 	mu        sync.Mutex
 	endpoints map[string]*inprocEP
 	link      LinkFunc
-	free      map[[2]string]time.Time     // directed-link serialisation
-	order     map[[2]string]chan struct{} // per-pair delivery ordering
+	free      map[[2]string]time.Time   // directed-link serialisation
+	links     map[[2]string]*inprocLink // per-pair delivery workers
 	wg        sync.WaitGroup
 	closed    bool
 }
@@ -87,7 +92,68 @@ func NewInProc(link LinkFunc) *InProc {
 		endpoints: make(map[string]*inprocEP),
 		link:      link,
 		free:      make(map[[2]string]time.Time),
-		order:     make(map[[2]string]chan struct{}),
+		links:     make(map[[2]string]*inprocLink),
+	}
+}
+
+// linkFrame is one queued delivery on a directed link.
+type linkFrame struct {
+	msg      Message
+	deadline time.Time
+}
+
+// inprocLink carries one directed pair's in-flight frames to its
+// worker goroutine.
+type inprocLink struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []linkFrame
+	closed bool
+}
+
+// runLink is a directed pair's delivery worker: it swaps the queue
+// against a reused local buffer (so senders never wait on delivery)
+// and hands frames to the destination handler in FIFO order, honouring
+// each frame's shaped deadline.
+func (f *InProc) runLink(l *inprocLink, dst *inprocEP) {
+	defer f.wg.Done()
+	var local []linkFrame
+	l.mu.Lock()
+	for {
+		for len(l.queue) == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if len(l.queue) == 0 {
+			l.mu.Unlock()
+			return
+		}
+		local, l.queue = l.queue, local[:0]
+		l.mu.Unlock()
+		for i := range local {
+			q := &local[i]
+			if d := time.Until(q.deadline); d > 0 {
+				time.Sleep(d)
+			}
+			dst.mu.Lock()
+			h := dst.handler
+			closed := dst.closed
+			dst.mu.Unlock()
+			if h != nil && !closed {
+				h(q.msg)
+			}
+			q.msg = Message{} // release the payload before the buffer is reused
+			// Yield between deliveries. Queued frames whose deadlines have
+			// already passed are otherwise handed to consecutive handlers
+			// with no scheduling point, which starves the goroutines those
+			// handlers wake: a steal reply carrying a job and the next
+			// incoming steal request would both run before the woken
+			// worker, so the job is re-stolen out of the inbox every time
+			// and ping-pongs between idle nodes instead of executing. The
+			// old goroutine-per-frame fabric yielded implicitly on every
+			// goroutine exit; keep that fairness explicitly.
+			runtime.Gosched()
+		}
+		l.mu.Lock()
 	}
 }
 
@@ -116,12 +182,23 @@ func (f *InProc) Close() {
 	}
 	f.endpoints = map[string]*inprocEP{}
 	f.free = map[[2]string]time.Time{}
-	f.order = map[[2]string]chan struct{}{}
+	links := make([]*inprocLink, 0, len(f.links))
+	for _, l := range f.links {
+		links = append(links, l)
+	}
+	f.links = map[[2]string]*inprocLink{}
 	f.mu.Unlock()
 	for _, ep := range eps {
 		ep.mu.Lock()
 		ep.closed = true
 		ep.mu.Unlock()
+	}
+	for _, l := range links {
+		l.mu.Lock()
+		l.closed = true
+		l.queue = nil // closed endpoints drop in-flight frames anyway
+		l.cond.Signal()
+		l.mu.Unlock()
 	}
 	f.wg.Wait()
 }
@@ -155,34 +232,28 @@ func (f *InProc) send(from *inprocEP, to, kind string, payload []byte) error {
 			delay += start.Sub(now) + ser
 		}
 	}
-	// Per-pair FIFO: each delivery waits for its predecessor on the
-	// same directed link, as a stream transport would.
 	key := [2]string{from.name, to}
-	prev := f.order[key]
-	done := make(chan struct{})
-	f.order[key] = done
-	deadline := time.Now().Add(delay)
-	f.wg.Add(1)
+	l, ok := f.links[key]
+	if !ok {
+		l = &inprocLink{}
+		l.cond = sync.NewCond(&l.mu)
+		f.links[key] = l
+		f.wg.Add(1)
+		go f.runLink(l, dst)
+	}
+	var deadline time.Time
+	if delay > 0 {
+		deadline = time.Now().Add(delay)
+	}
 	f.mu.Unlock()
 
-	msg := Message{From: from.name, To: to, Kind: kind, Payload: payload}
-	go func() {
-		defer f.wg.Done()
-		defer close(done)
-		if prev != nil {
-			<-prev
-		}
-		if d := time.Until(deadline); d > 0 {
-			time.Sleep(d)
-		}
-		dst.mu.Lock()
-		h := dst.handler
-		closed := dst.closed
-		dst.mu.Unlock()
-		if h != nil && !closed {
-			h(msg)
-		}
-	}()
+	l.mu.Lock()
+	l.queue = append(l.queue, linkFrame{
+		msg:      Message{From: from.name, To: to, Kind: kind, Payload: payload},
+		deadline: deadline,
+	})
+	l.cond.Signal()
+	l.mu.Unlock()
 	return nil
 }
 
@@ -214,20 +285,30 @@ func (e *inprocEP) Close() error {
 	f := e.fabric
 	f.mu.Lock()
 	delete(f.endpoints, e.name)
-	// Drop the per-pair serialisation and ordering state of every link
+	// Retire the serialisation state and link workers of every pair
 	// touching this endpoint: long-lived fabrics with churning
 	// endpoints (the emulated grid provisions and evicts nodes all
-	// run) must not accumulate dead-pair entries without bound.
+	// run) must not accumulate dead-pair state without bound, and a
+	// re-attached endpoint under the same name must get fresh links
+	// bound to the new endpoint, not the dead one.
 	for key := range f.free {
 		if key[0] == e.name || key[1] == e.name {
 			delete(f.free, key)
 		}
 	}
-	for key := range f.order {
+	var retired []*inprocLink
+	for key, l := range f.links {
 		if key[0] == e.name || key[1] == e.name {
-			delete(f.order, key)
+			retired = append(retired, l)
+			delete(f.links, key)
 		}
 	}
 	f.mu.Unlock()
+	for _, l := range retired {
+		l.mu.Lock()
+		l.closed = true
+		l.cond.Signal()
+		l.mu.Unlock()
+	}
 	return nil
 }

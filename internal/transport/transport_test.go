@@ -217,7 +217,7 @@ func TestTCPSendAfterCloseFails(t *testing.T) {
 	}
 }
 
-// Per-pair serialisation (free) and ordering (order) state must be
+// Per-pair serialisation (free) and link-worker (links) state must be
 // released when endpoints close: a long-lived fabric with churning
 // endpoints (provisioned and evicted grid nodes) must not grow without
 // bound.
@@ -246,18 +246,18 @@ func TestInProcPairStateReleasedOnClose(t *testing.T) {
 		}
 	}
 	f.mu.Lock()
-	frees, orders := len(f.free), len(f.order)
+	frees, links := len(f.free), len(f.links)
 	f.mu.Unlock()
-	if frees == 0 || orders == 0 {
-		t.Fatalf("test did not populate pair state (free=%d order=%d)", frees, orders)
+	if frees == 0 || links == 0 {
+		t.Fatalf("test did not populate pair state (free=%d links=%d)", frees, links)
 	}
 	a.Close()
 	b.Close()
 	f.mu.Lock()
-	frees, orders = len(f.free), len(f.order)
+	frees, links = len(f.free), len(f.links)
 	f.mu.Unlock()
-	if frees != 0 || orders != 0 {
-		t.Fatalf("pair state leaked after endpoint close: free=%d order=%d", frees, orders)
+	if frees != 0 || links != 0 {
+		t.Fatalf("pair state leaked after endpoint close: free=%d links=%d", frees, links)
 	}
 }
 
@@ -271,8 +271,8 @@ func TestInProcPairStateReleasedOnFabricClose(t *testing.T) {
 	f.Close()
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if len(f.free) != 0 || len(f.order) != 0 {
-		t.Fatalf("pair state leaked after fabric close: free=%d order=%d",
-			len(f.free), len(f.order))
+	if len(f.free) != 0 || len(f.links) != 0 {
+		t.Fatalf("pair state leaked after fabric close: free=%d links=%d",
+			len(f.free), len(f.links))
 	}
 }

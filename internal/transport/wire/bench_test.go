@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/transport"
+	"repro/internal/wirefmt"
 )
 
 // benchJob mirrors the shape of satin's steal-reply payload — the
@@ -21,7 +22,35 @@ type benchReply struct {
 	Job    benchJob
 }
 
-func init() { Register[benchReply]("bench-reply") }
+// benchReplyBin is the same shape under the binary codec.
+type benchReplyBin benchReply
+
+func (m *benchReplyBin) AppendWire(b []byte) ([]byte, error) {
+	b = wirefmt.AppendUvarint(b, m.Seq)
+	b = wirefmt.AppendBool(b, m.HasJob)
+	b = wirefmt.AppendUvarint(b, m.Job.ID)
+	b = wirefmt.AppendString(b, m.Job.Owner)
+	for _, a := range m.Job.Args {
+		b = wirefmt.AppendVarint(b, int64(a))
+	}
+	return b, nil
+}
+
+func (m *benchReplyBin) DecodeWire(r *wirefmt.Reader) error {
+	m.Seq = r.Uvarint()
+	m.HasJob = r.Bool()
+	m.Job.ID = r.Uvarint()
+	m.Job.Owner = r.String()
+	for i := range m.Job.Args {
+		m.Job.Args[i] = int(r.Varint())
+	}
+	return r.Err()
+}
+
+func init() {
+	Register[benchReply]("bench-reply")
+	Register[benchReplyBin]("bench-reply-bin")
+}
 
 var benchValue = benchReply{
 	Seq:    42,
@@ -29,11 +58,14 @@ var benchValue = benchReply{
 	Job:    benchJob{ID: 7, Owner: "fs0/03", Args: [4]int{1, 2, 3, 4}},
 }
 
-// BenchmarkWireEncode compares the old per-message codec (fresh gob
-// encoder, descriptors resent every message) against the session codec
-// (persistent stream, descriptors once). Numbers in EXPERIMENTS.md.
+// BenchmarkWireEncode compares three codec generations: the original
+// per-message gob codec (fresh encoder, descriptors resent every
+// message — kept strictly as the historical baseline; no production
+// path constructs per-message encoders anymore), the session gob codec
+// (persistent stream, descriptors once), and the binary codec
+// (wirefmt, no descriptors at all). Numbers in EXPERIMENTS.md.
 func BenchmarkWireEncode(b *testing.B) {
-	b.Run("per-message-gob", func(b *testing.B) {
+	b.Run("per-message-gob-historical-baseline", func(b *testing.B) {
 		b.ReportAllocs()
 		var total int
 		for i := 0; i < b.N; i++ {
@@ -61,6 +93,19 @@ func BenchmarkWireEncode(b *testing.B) {
 		}
 		reportFrameBytes(b, total)
 	})
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		v := benchReplyBin(benchValue)
+		var total int
+		for i := 0; i < b.N; i++ {
+			p, err := v.AppendWire(make([]byte, headerLen, headerLen+64))
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += len(p)
+		}
+		reportFrameBytes(b, total)
+	})
 }
 
 func reportFrameBytes(b *testing.B, total int) {
@@ -70,9 +115,10 @@ func reportFrameBytes(b *testing.B, total int) {
 }
 
 // BenchmarkWireRoundTrip measures whole frames through an ideal
-// in-process fabric: encode, send, deliver, decode, dispatch.
+// in-process fabric: encode, send, deliver, decode, dispatch. The
+// per-message-gob arm is the historical baseline only.
 func BenchmarkWireRoundTrip(b *testing.B) {
-	b.Run("per-message-gob", func(b *testing.B) {
+	b.Run("per-message-gob-historical-baseline", func(b *testing.B) {
 		f := transport.NewInProc(nil)
 		defer f.Close()
 		epA, _ := f.Endpoint("a")
@@ -110,6 +156,24 @@ func BenchmarkWireRoundTrip(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if err := Send(ca, "b", benchValue); err != nil {
+				b.Fatal(err)
+			}
+			<-done
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		f := transport.NewInProc(nil)
+		defer f.Close()
+		epA, _ := f.Endpoint("a")
+		epB, _ := f.Endpoint("b")
+		ca, cb := New(epA), New(epB)
+		done := make(chan struct{}, 1)
+		Handle(cb, func(v benchReplyBin, _ Meta) { done <- struct{}{} })
+		v := benchReplyBin(benchValue)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := Send(ca, "b", v); err != nil {
 				b.Fatal(err)
 			}
 			<-done

@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/transport"
+	"repro/internal/wirefmt"
 )
 
 // ---- frame registry ----
@@ -48,7 +49,13 @@ var (
 	regMu      sync.RWMutex
 	kindByType = make(map[reflect.Type]string)
 	typeByKind = make(map[string]reflect.Type)
+	binByKind  = make(map[string]bool)
 )
+
+// frameType is the binary-codec marker interface: a registered type
+// whose pointer implements wirefmt.Frame bypasses the session gob
+// stream and encodes with the hand-rolled binary codec.
+var frameType = reflect.TypeOf((*wirefmt.Frame)(nil)).Elem()
 
 // Register associates a message type with its frame kind. Call once
 // per type, at package init. Re-registering the identical pair is a
@@ -72,13 +79,20 @@ func Register[T any](kind string) {
 	}
 	typeByKind[kind] = t
 	kindByType[t] = kind
+	binByKind[kind] = reflect.PointerTo(t).Implements(frameType)
 }
 
-func kindOf(t reflect.Type) (string, bool) {
+func kindOf(t reflect.Type) (kind string, bin, ok bool) {
 	regMu.RLock()
 	defer regMu.RUnlock()
 	k, ok := kindByType[t]
-	return k, ok
+	return k, binByKind[k], ok
+}
+
+func isBinaryKind(kind string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return binByKind[kind]
 }
 
 // ---- frame format ----
@@ -89,8 +103,12 @@ func kindOf(t reflect.Type) (string, bool) {
 // receiver wants abandoned.
 const headerLen = 12
 
-// ctrlReset is the reserved control kind of the epoch-reset handshake.
-const ctrlReset = "\x00wire-reset"
+// ctrlReset is the reserved control kind of the epoch-reset handshake;
+// ctrlBatch carries a coalesced envelope of logical frames (batch.go).
+const (
+	ctrlReset = "\x00wire-reset"
+	ctrlBatch = "\x00wire-batch"
+)
 
 // gapTimeout bounds how long a receive session waits for a reordered
 // frame to fill a sequence gap before declaring the stream broken and
@@ -162,7 +180,8 @@ func logKindOnce(problem, kind string, err error) {
 // Send. Handlers run on the fabric's delivery goroutines, in per-pair
 // order, and may call Send.
 type Conn struct {
-	ep transport.Endpoint
+	ep    transport.Endpoint
+	batch BatchConfig // zero = coalescing off
 
 	mu       sync.RWMutex
 	handlers map[string]handlerFunc
@@ -171,16 +190,25 @@ type Conn struct {
 	closed   bool
 }
 
-type handlerFunc func(dec *gob.Decoder, m Meta) error
+// handlerFunc dispatches one in-order frame. Binary-codec kinds decode
+// from data; session-gob kinds decode from dec (fed with data by the
+// caller).
+type handlerFunc func(data []byte, dec *gob.Decoder, m Meta) error
+
+// Option configures a Conn at New time.
+type Option func(*Conn)
 
 // New wraps ep, installing its delivery handler. The caller must not
 // call ep.SetHandler afterwards.
-func New(ep transport.Endpoint) *Conn {
+func New(ep transport.Endpoint, opts ...Option) *Conn {
 	c := &Conn{
 		ep:       ep,
 		handlers: make(map[string]handlerFunc),
 		sends:    make(map[string]*sendSession),
 		recvs:    make(map[string]*recvSession),
+	}
+	for _, o := range opts {
+		o(c)
 	}
 	ep.SetHandler(c.handle)
 	return c
@@ -189,7 +217,8 @@ func New(ep transport.Endpoint) *Conn {
 // Name returns the underlying endpoint's name.
 func (c *Conn) Name() string { return c.ep.Name() }
 
-// Close detaches the endpoint and stops the sessions' timers.
+// Close flushes pending frame batches, detaches the endpoint and stops
+// the sessions' timers.
 func (c *Conn) Close() error {
 	c.mu.Lock()
 	c.closed = true
@@ -197,7 +226,16 @@ func (c *Conn) Close() error {
 	for _, rs := range c.recvs {
 		recvs = append(recvs, rs)
 	}
+	sends := make([]*sendSession, 0, len(c.sends))
+	for _, ss := range c.sends {
+		sends = append(sends, ss)
+	}
 	c.mu.Unlock()
+	for _, ss := range sends {
+		ss.mu.Lock()
+		ss.flushLocked(c) // best effort; the endpoint may already refuse
+		ss.mu.Unlock()
+	}
 	for _, rs := range recvs {
 		rs.mu.Lock()
 		if rs.gapTimer != nil {
@@ -213,7 +251,7 @@ func (c *Conn) Close() error {
 // kind per Conn; T must have been Registered.
 func Handle[T any](c *Conn, h func(T, Meta)) {
 	t := reflect.TypeOf((*T)(nil)).Elem()
-	kind, ok := kindOf(t)
+	kind, isBin, ok := kindOf(t)
 	if !ok {
 		panic(fmt.Sprintf("wire: Handle of unregistered type %v", t))
 	}
@@ -222,7 +260,22 @@ func Handle[T any](c *Conn, h func(T, Meta)) {
 	if _, dup := c.handlers[kind]; dup {
 		panic(fmt.Sprintf("wire: duplicate handler for kind %q on %s", kind, c.ep.Name()))
 	}
-	c.handlers[kind] = func(dec *gob.Decoder, m Meta) error {
+	if isBin {
+		c.handlers[kind] = func(data []byte, _ *gob.Decoder, m Meta) error {
+			var v T
+			r := wirefmt.NewReader(data)
+			if err := any(&v).(wirefmt.Frame).DecodeWire(&r); err != nil {
+				return err
+			}
+			if err := r.Finish(); err != nil {
+				return err
+			}
+			h(v, m)
+			return nil
+		}
+		return
+	}
+	c.handlers[kind] = func(_ []byte, dec *gob.Decoder, m Meta) error {
 		var v T
 		if err := dec.Decode(&v); err != nil {
 			return err
@@ -238,28 +291,44 @@ func Handle[T any](c *Conn, h func(T, Meta)) {
 // the error; the caller can then send a fallback message safely.
 func Send[T any](c *Conn, to string, v T) error {
 	t := reflect.TypeOf((*T)(nil)).Elem()
-	kind, ok := kindOf(t)
+	kind, isBin, ok := kindOf(t)
 	if !ok {
 		return fmt.Errorf("wire: send of unregistered type %v", t)
 	}
 	ss := c.sendSession(to)
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
-	ss.buf.Reset()
-	if err := ss.enc.Encode(v); err != nil {
-		// The encoder may have half-written descriptors it now believes
-		// the receiver has: the stream is unusable. Restart it under a
-		// fresh epoch (the receiver starts a fresh decoder on seeing it).
-		ss.restartLocked()
-		obs.Default.Counter("wire/encode_err/" + kind).Inc()
-		logKindOnce("encode error", kind, err)
-		return fmt.Errorf("wire: encode %q: %w", kind, err)
+	var p []byte
+	if isBin {
+		var err error
+		p, err = any(&v).(wirefmt.Frame).AppendWire(make([]byte, headerLen, headerLen+64))
+		if err != nil {
+			// Binary frames are stateless: nothing half-written crossed
+			// the stream, so the session does not restart.
+			obs.Default.Counter("wire/encode_err/" + kind).Inc()
+			logKindOnce("encode error", kind, err)
+			return fmt.Errorf("wire: encode %q: %w", kind, err)
+		}
+	} else {
+		ss.buf.Reset()
+		if err := ss.enc.Encode(v); err != nil {
+			// The encoder may have half-written descriptors it now believes
+			// the receiver has: the stream is unusable. Flush frames already
+			// coalesced (they encode against the epoch being abandoned, and
+			// must leave before the receiver adopts the new one), then
+			// restart under a fresh epoch.
+			_ = ss.flushLocked(c)
+			ss.restartLocked()
+			obs.Default.Counter("wire/encode_err/" + kind).Inc()
+			logKindOnce("encode error", kind, err)
+			return fmt.Errorf("wire: encode %q: %w", kind, err)
+		}
+		delta := ss.buf.Bytes()
+		p = make([]byte, headerLen+len(delta))
+		copy(p[headerLen:], delta)
 	}
-	delta := ss.buf.Bytes()
-	p := make([]byte, headerLen+len(delta))
 	binary.BigEndian.PutUint32(p[0:4], ss.epoch)
 	binary.BigEndian.PutUint64(p[4:12], ss.seq)
-	copy(p[headerLen:], delta)
 	ss.seq++
 	kc := ss.kindC[kind]
 	if kc == nil {
@@ -270,19 +339,26 @@ func Send[T any](c *Conn, to string, v T) error {
 	kc.bytes.Add(uint64(len(p)))
 	ss.pairFrames.Inc()
 	ss.pairBytes.Add(uint64(len(p)))
-	// Send under the session lock: the fabric's per-pair FIFO must see
-	// frames in sequence order.
-	return c.ep.Send(to, kind, p)
+	// Dispatch under the session lock: the fabric's per-pair FIFO must
+	// see frames in sequence order.
+	return ss.dispatchLocked(c, kind, p)
 }
 
 // ---- send sessions ----
 
 type sendSession struct {
 	mu    sync.Mutex
+	to    string
 	epoch uint32
 	seq   uint64
 	buf   byteBuffer
 	enc   *gob.Encoder
+
+	// coalescing state (batch.go); idle when the Conn has no BatchConfig
+	batchBuf   []byte
+	batchN     int
+	batchTimer *time.Timer
+	batchesOut *obs.Counter
 
 	kindC                 map[string]*kindCounters
 	pairFrames, pairBytes *obs.Counter
@@ -302,7 +378,9 @@ func (c *Conn) sendSession(to string) *sendSession {
 	}
 	pair := pairLabel(c.ep.Name(), to)
 	ss = &sendSession{
+		to:         to,
 		kindC:      make(map[string]*kindCounters),
+		batchesOut: obs.Default.Counter("wire/batches_out/" + pair),
 		pairFrames: obs.Default.Counter("wire/pair_frames_out/" + pair),
 		pairBytes:  obs.Default.Counter("wire/pair_bytes_out/" + pair),
 	}
@@ -311,12 +389,16 @@ func (c *Conn) sendSession(to string) *sendSession {
 	return ss
 }
 
-// restartLocked begins a fresh stream under the next epoch.
+// restartLocked begins a fresh stream under the next epoch. Frames
+// still coalesced in the batch buffer encode against the abandoned
+// epoch and would arrive stale; they are discarded, exactly as
+// in-flight frames of the old epoch are.
 func (ss *sendSession) restartLocked() {
 	ss.epoch++
 	ss.seq = 0
 	ss.buf.Reset()
 	ss.enc = gob.NewEncoder(&ss.buf)
+	ss.discardBatchLocked()
 }
 
 // ---- receive sessions ----
@@ -388,6 +470,10 @@ func (c *Conn) handle(msg transport.Message) {
 	}
 	if msg.Kind == ctrlReset {
 		c.handleReset(msg)
+		return
+	}
+	if msg.Kind == ctrlBatch {
+		c.handleBatch(msg)
 		return
 	}
 	if len(msg.Payload) < headerLen {
@@ -464,9 +550,11 @@ func (c *Conn) handle(msg transport.Message) {
 	}
 }
 
-// deliverLocked feeds one in-sequence frame to the stream decoder and
-// dispatches the value. Any failure poisons the session: a gob stream
-// cannot be resynchronised mid-flight, only restarted.
+// deliverLocked dispatches one in-sequence frame. Binary-codec kinds
+// decode statelessly: a malformed frame is counted and skipped, and the
+// stream continues. Gob kinds feed the session stream decoder, where
+// any failure poisons the session: a gob stream cannot be
+// resynchronised mid-flight, only restarted.
 func (c *Conn) deliverLocked(rs *recvSession, from, kind string, data []byte, size int) {
 	h, ok := c.handler(kind)
 	if !ok {
@@ -475,8 +563,19 @@ func (c *Conn) deliverLocked(rs *recvSession, from, kind string, data []byte, si
 		c.poisonLocked(rs, from, "unknown kind")
 		return
 	}
+	if isBinaryKind(kind) {
+		if err := h(data, nil, Meta{From: from, Bytes: size}); err != nil {
+			obs.Default.Counter("wire/decode_err/" + kind).Inc()
+			logKindOnce("decode error", kind, err)
+			rs.next++ // the frame consumed its slot; later frames are intact
+			return
+		}
+		rs.next++
+		rs.started = true
+		return
+	}
 	rs.feed.set(data)
-	err := h(rs.dec, Meta{From: from, Bytes: size})
+	err := h(nil, rs.dec, Meta{From: from, Bytes: size})
 	if err == nil && rs.feed.len() > 0 {
 		err = fmt.Errorf("%d trailing bytes after value", rs.feed.len())
 	}

@@ -1,0 +1,46 @@
+package satin
+
+import (
+	"testing"
+	"time"
+)
+
+// The ISSUE 7 spawn-sync ceiling: one task spawning and syncing 256
+// trivial children must stay under 300 allocations (BENCH_5 measured
+// 986 before the value pending-map, Future slab, Context free list and
+// deque node recycling). The ceiling is far above the ~20 measured so
+// background goroutines (heartbeats, the registry) cannot flake it,
+// while still catching a regression back to per-spawn boxing.
+func TestSpawnSyncAllocCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live node benchmark-style test")
+	}
+	g, err := NewGrid(GridConfig{
+		Clusters: []ClusterSpec{{Name: "c0", Nodes: 1}},
+		Registry: fastReg(),
+		Node:     NodeConfig{Registry: fastReg()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	nodes, err := g.StartNodes("c0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := nodes[0]
+	for i := 0; i < 3; i++ { // warm every pool past its first burst
+		if _, err := n.Run(tspawnN{N: 256}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(10 * time.Millisecond)
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := n.Run(tspawnN{N: 256}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs >= 300 {
+		t.Fatalf("spawn-sync of 256 children allocates %.0f/op, ceiling 300", allocs)
+	}
+}

@@ -41,6 +41,7 @@ func BenchmarkSpawnSync(b *testing.B) {
 		b.Fatal(err)
 	}
 	time.Sleep(10 * time.Millisecond)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := n.Run(tspawnN{N: 256}); err != nil {

@@ -135,6 +135,7 @@ func (n *Node) reclaimFrom(dead NodeID) {
 	for id, pj := range n.pending {
 		if pj.holder == dead {
 			pj.holder = n.cfg.ID
+			n.pending[id] = pj
 			reclaimed = append(reclaimed, jobMsg{ID: id, Owner: n.cfg.ID, Task: pj.task})
 		}
 	}

@@ -83,11 +83,33 @@ func (c *NodeConfig) defaults() {
 	}
 }
 
-// pendingJob is a spawned job this node owns.
+// pendingJob is a spawned job this node owns. Stored BY VALUE in the
+// pending map — spawn registers one per child on the hot path, and a
+// value entry costs no allocation — so mutations must write the entry
+// back.
 type pendingJob struct {
 	task   Task
 	fut    *Future
 	holder NodeID // who currently holds it ("" never; self = local)
+}
+
+// futureSlab hands out Futures from blocks of 64, amortising the
+// per-spawn allocation the hot path used to pay. Guarded by n.mu
+// (registerJob already holds it). Blocks are garbage once all their
+// futures resolve and drop out of reach.
+type futureSlab struct {
+	block []Future
+	next  int
+}
+
+func (s *futureSlab) get() *Future {
+	if s.next == len(s.block) {
+		s.block = make([]Future, 64)
+		s.next = 0
+	}
+	f := &s.block[s.next]
+	s.next++
+	return f
 }
 
 // Node is one processor of the runtime, decomposed into components
@@ -112,11 +134,13 @@ type Node struct {
 	cfg NodeConfig
 	wc  *wire.Conn
 
-	jobs  *deque.Deque[jobMsg]
-	inbox inbox
+	jobs    *deque.Deque[jobMsg]
+	inbox   inbox
+	ctxFree []*Context // worker-confined Context free list
 
 	mu      sync.Mutex
-	pending map[uint64]*pendingJob
+	pending map[uint64]pendingJob
+	futs    futureSlab
 	nextID  uint64
 	leaving bool
 	stopped bool
@@ -148,7 +172,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		cfg:     cfg,
 		wc:      wire.New(ep),
 		jobs:    deque.New[jobMsg](),
-		pending: make(map[uint64]*pendingJob),
+		pending: make(map[uint64]pendingJob),
 		wake:    make(chan struct{}, 1),
 		stopCh:  make(chan struct{}),
 	}
@@ -201,8 +225,8 @@ func (n *Node) registerJob(t Task) (uint64, *Future) {
 	n.mu.Lock()
 	n.nextID++
 	id := n.nextID
-	fut := &Future{}
-	n.pending[id] = &pendingJob{task: t, fut: fut, holder: n.cfg.ID}
+	fut := n.futs.get()
+	n.pending[id] = pendingJob{task: t, fut: fut, holder: n.cfg.ID}
 	n.mu.Unlock()
 	return id, fut
 }
@@ -270,7 +294,7 @@ func (n *Node) Kill() {
 	// (e.g. Node.Run on this node) must not hang forever on a dead
 	// node — nobody will ever deliver those results here.
 	pending := n.pending
-	n.pending = make(map[uint64]*pendingJob)
+	n.pending = make(map[uint64]pendingJob)
 	n.mu.Unlock()
 	for _, pj := range pending {
 		pj.fut.complete(nil, errNodeStopped)
@@ -304,6 +328,7 @@ func (n *Node) setHolder(id uint64, holder NodeID) {
 	n.mu.Lock()
 	if pj, ok := n.pending[id]; ok {
 		pj.holder = holder
+		n.pending[id] = pj
 	}
 	n.mu.Unlock()
 }
@@ -420,6 +445,7 @@ func (n *Node) onHolding(hm holdingMsg, _ wire.Meta) {
 		} else {
 			pj.holder = hm.Holder
 		}
+		n.pending[hm.ID] = pj
 	}
 	n.mu.Unlock()
 	if reclaim {
@@ -434,6 +460,7 @@ func (n *Node) onReturnJob(rj returnJobMsg, _ wire.Meta) {
 		pj, ok := n.pending[rj.Job.ID]
 		if ok {
 			pj.holder = n.cfg.ID
+			n.pending[rj.Job.ID] = pj
 		}
 		n.mu.Unlock()
 		if !ok {

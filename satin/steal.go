@@ -101,10 +101,10 @@ func (s *stealer) replyArrived(seq uint64, got bool) {
 // sits, paying any WAN round trip in the idle path.
 func (n *Node) trySteal() (jobMsg, bool) {
 	d := n.stealer.eng.Next(n.monotonicSeconds(), n.members.stealables())
-	if d.Async != nil {
+	if d.HasAsync {
 		go n.wanSteal(d.Async.ID)
 	}
-	if d.Sync == nil {
+	if !d.HasSync {
 		return jobMsg{}, false
 	}
 	bucket, timeout, kind := metrics.Intra, n.cfg.LocalStealTimeout, "local"

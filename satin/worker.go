@@ -18,9 +18,10 @@ import (
 // tasks. Contention is rare (one entry per remote event, not per
 // spawn), so a plain mutex-guarded slice is the right tool.
 type inbox struct {
-	mu   sync.Mutex
-	size atomic.Int32 // mirror of len(jobs): the worker's lock-free emptiness probe
-	jobs []jobMsg
+	mu    sync.Mutex
+	size  atomic.Int32 // mirror of len(jobs): the worker's lock-free emptiness probe
+	jobs  []jobMsg
+	spare []jobMsg // drained buffer awaiting reuse (double buffering)
 }
 
 func (b *inbox) add(j jobMsg) {
@@ -39,10 +40,24 @@ func (b *inbox) drain() []jobMsg {
 	}
 	b.mu.Lock()
 	js := b.jobs
-	b.jobs = nil
+	b.jobs = b.spare
+	b.spare = nil
 	b.size.Store(0)
 	b.mu.Unlock()
 	return js
+}
+
+// recycle returns a drained buffer for reuse once its entries have
+// been consumed, so steady-state drains allocate nothing.
+func (b *inbox) recycle(js []jobMsg) {
+	for i := range js {
+		js[i] = jobMsg{} // release task payload references
+	}
+	b.mu.Lock()
+	if b.spare == nil {
+		b.spare = js[:0]
+	}
+	b.mu.Unlock()
 }
 
 // steal takes the oldest inbox entry. Thieves fall back here when the
@@ -65,9 +80,14 @@ func (b *inbox) steal() (jobMsg, bool) {
 // drainInbox moves inbox arrivals onto the deque. Worker goroutine
 // only: pushing is an owner operation.
 func (n *Node) drainInbox() {
-	for _, j := range n.inbox.drain() {
+	js := n.inbox.drain()
+	if js == nil {
+		return
+	}
+	for _, j := range js {
 		n.jobs.Push(j)
 	}
+	n.inbox.recycle(js)
 }
 
 // worker is the node's single computation goroutine: run a due speed
@@ -146,10 +166,36 @@ func (n *Node) waitForWork(d time.Duration) {
 	n.enterState(stateIdle)
 }
 
+// getContext / putContext keep a small free list of execution
+// contexts. Worker goroutine only (executeJob and runBench run there,
+// including Sync's nested executions), so no lock. A Context is
+// invalid once its task returns — task code must not retain it.
+func (n *Node) getContext(bench bool) *Context {
+	if k := len(n.ctxFree); k > 0 {
+		c := n.ctxFree[k-1]
+		n.ctxFree = n.ctxFree[:k-1]
+		c.benchMode = bench
+		return c
+	}
+	return &Context{node: n, benchMode: bench}
+}
+
+func (n *Node) putContext(c *Context) {
+	for i := range c.frame {
+		c.frame[i] = nil // release future references
+	}
+	c.frame = c.frame[:0]
+	c.benchMode = false
+	if len(n.ctxFree) < 32 {
+		n.ctxFree = append(n.ctxFree, c)
+	}
+}
+
 func (n *Node) executeJob(j jobMsg) {
 	n.enterState(int(metrics.Busy))
-	ctx := &Context{node: n}
+	ctx := n.getContext(false)
 	val, err := safeExecute(j.Task, ctx)
+	n.putContext(ctx)
 	n.enterState(stateIdle)
 	if errors.Is(err, errNodeStopped) {
 		// Execution was cut short by Kill: this is not a task result.
@@ -191,8 +237,9 @@ func (n *Node) runBench() {
 	}
 	n.enterState(int(metrics.Bench))
 	start := time.Now()
-	ctx := &Context{node: n, benchMode: true}
+	ctx := n.getContext(true)
 	_, _ = safeExecute(bench, ctx)
+	n.putContext(ctx)
 	n.enterState(stateIdle)
 	dur := time.Since(start).Seconds()
 	if dur <= 0 {
