@@ -31,10 +31,10 @@ gridsim:
 # that proves every benchmark still compiles and executes; for timing
 # numbers use -benchtime/-count as in EXPERIMENTS.md), followed by the
 # JSON baseline harness CI archives per PR (cmd/bench). Refreshes the
-# committed BENCH_6.json.
+# committed BENCH_7.json.
 bench:
-	$(GO) test -run=NONE -bench=. -benchtime=1x -count=1 ./internal/deque ./internal/steal ./satin ./internal/transport/wire
-	$(GO) run ./cmd/bench -out BENCH_6.json
+	$(GO) test -run=NONE -bench=. -benchtime=1x -count=1 ./internal/deque ./internal/steal ./satin ./internal/transport/wire ./internal/coord
+	$(GO) run ./cmd/bench -out BENCH_7.json
 
 # Regression gate: run the harness fresh and compare against the
 # committed baseline, failing on >35% ns/op (or alloc) regression on
@@ -43,7 +43,7 @@ bench:
 # runner, so the gate is sized to catch real regressions (2x), not
 # scheduler noise.
 bench-check:
-	$(GO) run ./cmd/bench -out BENCH_6.ci.json -against BENCH_6.json -tolerance 0.35
+	$(GO) run ./cmd/bench -out BENCH_7.ci.json -against BENCH_7.json -tolerance 0.35
 
 # Short fuzz smoke over the adversarial-input decoders (`go test -fuzz`
 # accepts one target per invocation, hence one line each): the wirefmt

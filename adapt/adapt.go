@@ -96,6 +96,14 @@ type Config struct {
 	// many of its worst nodes — without blacklisting them — at the next
 	// tick. Leave nil for single-job deployments that own their pool.
 	Pressure func() int
+	// Sharded runs the hierarchical tree's root (ISSUE 8): the
+	// coordinator consumes ClusterSummary frames from sub-kernel-mode
+	// SubCoordinators (StartSubKernel) instead of raw reports, so its
+	// state and per-period message load are O(clusters).
+	Sharded bool
+	// Registry tunes the coordinator's registry client (zero = default
+	// heartbeat/failure-detection intervals).
+	Registry registry.Options
 }
 
 // PeriodRecord is one coordinator tick, kept for inspection. It is the
@@ -109,7 +117,8 @@ type Annotation = coord.Annotation
 // Coordinator is the running adaptation process.
 type Coordinator struct {
 	cfg   Config
-	kern  *coord.Kernel
+	kern  *coord.Kernel     // flat mode (nil when sharded)
+	rootk *coord.RootKernel // sharded mode (nil when flat)
 	prov  Provisioner
 	wc    *wire.Conn
 	reg   *registry.Client
@@ -139,7 +148,7 @@ func Start(f transport.Fabric, prov Provisioner, cfg Config) (*Coordinator, erro
 	if err != nil {
 		return nil, err
 	}
-	reg, err := registry.Join(f, registry.NodeInfo{ID: EndpointName, Cluster: ""}, registry.Options{})
+	reg, err := registry.Join(f, registry.NodeInfo{ID: EndpointName, Cluster: ""}, cfg.Registry)
 	if err != nil {
 		ep.Close()
 		return nil, err
@@ -153,20 +162,33 @@ func Start(f transport.Fabric, prov Provisioner, cfg Config) (*Coordinator, erro
 		stop:  make(chan struct{}),
 	}
 	th := cfg.Thresholds
-	kern, err := coord.New(coord.Config{
+	kcfg := coord.Config{
 		Engine:      &th,
 		MonitorOnly: cfg.MonitorOnly,
 		Pressure:    cfg.Pressure,
-	}, runtimeActuator{c})
-	if err != nil {
-		reg.Close()
-		c.wc.Close()
-		return nil, err
 	}
-	c.kern = kern
-	c.kern.Protect(cfg.Protected...)
-	wire.Handle(c.wc, c.onReport)
-	wire.Handle(c.wc, c.onReportBatch)
+	if cfg.Sharded {
+		rootk, err := coord.NewRoot(kcfg, runtimeActuator{c})
+		if err != nil {
+			reg.Close()
+			c.wc.Close()
+			return nil, err
+		}
+		c.rootk = rootk
+		c.rootk.Protect(cfg.Protected...)
+		wire.Handle(c.wc, c.onSummary)
+	} else {
+		kern, err := coord.New(kcfg, runtimeActuator{c})
+		if err != nil {
+			reg.Close()
+			c.wc.Close()
+			return nil, err
+		}
+		c.kern = kern
+		c.kern.Protect(cfg.Protected...)
+		wire.Handle(c.wc, c.onReport)
+		wire.Handle(c.wc, c.onReportBatch)
+	}
 	c.wg.Add(1)
 	go c.loop()
 	return c, nil
@@ -185,7 +207,13 @@ func (c *Coordinator) Stop() {
 
 // Protect marks a node as unremovable (e.g. after electing a new root
 // host).
-func (c *Coordinator) Protect(id NodeID) { c.kern.Protect(id) }
+func (c *Coordinator) Protect(id NodeID) {
+	if c.rootk != nil {
+		c.rootk.Protect(id)
+		return
+	}
+	c.kern.Protect(id)
+}
 
 // History returns the period records so far.
 func (c *Coordinator) History() []PeriodRecord {
@@ -202,7 +230,12 @@ func (c *Coordinator) Annotations() []Annotation {
 }
 
 // Requirements exposes what the run has taught the coordinator.
-func (c *Coordinator) Requirements() *Requirements { return c.kern.Requirements() }
+func (c *Coordinator) Requirements() *Requirements {
+	if c.rootk != nil {
+		return c.rootk.Requirements()
+	}
+	return c.kern.Requirements()
+}
 
 func (c *Coordinator) onReport(rep metrics.Report, _ wire.Meta) {
 	c.kern.Report(rep)
@@ -249,6 +282,10 @@ func (c *Coordinator) loop() {
 // worker set from the registry, hand it to the shared kernel (which
 // owns the whole Figure-2 policy), and log the period.
 func (c *Coordinator) tick() {
+	if c.rootk != nil {
+		c.shardedTick()
+		return
+	}
 	// Live workers according to the registry; the kernel drops reports
 	// of departed nodes and tolerates missing reports of new ones —
 	// both as in the paper.
@@ -312,4 +349,20 @@ func (a runtimeActuator) Annotate(label string) {
 	c.mu.Unlock()
 }
 
-var _ coord.Actuator = runtimeActuator{}
+// ClusterNodes enumerates a cluster's live workers from the registry —
+// the sharded root's whole-cluster eviction asks the runtime for the
+// roster because the root kernel holds no per-node state.
+func (a runtimeActuator) ClusterNodes(cl ClusterID) []NodeID {
+	var out []NodeID
+	for _, m := range a.c.reg.Members() {
+		if m.Cluster == cl {
+			out = append(out, m.ID)
+		}
+	}
+	return out
+}
+
+var (
+	_ coord.Actuator     = runtimeActuator{}
+	_ coord.RootActuator = runtimeActuator{}
+)

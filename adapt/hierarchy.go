@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/transport/wire"
 )
@@ -27,6 +28,11 @@ type SubCoordinator struct {
 
 	mu      sync.Mutex
 	pending []metrics.Report
+
+	// Sub-kernel mode (ISSUE 8): instead of relaying raw reports the
+	// sub runs a coord.SubKernel and emits one ClusterSummary per
+	// period; these fields are nil/zero in relay mode. See shard.go.
+	shard *subShard
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -69,17 +75,27 @@ func StartSub(f transport.Fabric, cluster ClusterID, period time.Duration) (*Sub
 }
 
 // Stop shuts the sub-coordinator down, flushing pending reports.
-// Safe to call multiple times and from concurrent goroutines.
+// Safe to call multiple times and from concurrent goroutines. A root
+// coordinator this sub promoted during failover keeps running; stop it
+// separately via Promoted().
 func (sc *SubCoordinator) Stop() {
 	sc.stopOnce.Do(func() {
 		close(sc.stop)
 		sc.wg.Wait()
-		sc.flush()
+		if sc.shard != nil {
+			sc.shard.reg.Close()
+		} else {
+			sc.flush()
+		}
 		sc.wc.Close()
 	})
 }
 
 func (sc *SubCoordinator) onReport(rep metrics.Report, _ wire.Meta) {
+	if sc.shard != nil {
+		sc.shard.kern.Report(rep)
+		return
+	}
 	sc.mu.Lock()
 	sc.pending = append(sc.pending, rep)
 	sc.mu.Unlock()
@@ -94,7 +110,11 @@ func (sc *SubCoordinator) loop() {
 		case <-sc.stop:
 			return
 		case <-ticker.C:
-			sc.flush()
+			if sc.shard != nil {
+				sc.shardTick()
+			} else {
+				sc.flush()
+			}
 		}
 	}
 }
@@ -107,5 +127,15 @@ func (sc *SubCoordinator) flush() {
 	if len(batch) == 0 {
 		return
 	}
-	wire.Send(sc.wc, sc.main, reportBatch{Cluster: sc.cluster, Reports: batch})
+	if err := wire.Send(sc.wc, sc.main, reportBatch{Cluster: sc.cluster, Reports: batch}); err != nil {
+		// The main coordinator is unreachable (restarting, partitioned):
+		// losing the batch silently would starve the kernel of exactly
+		// the period that preceded the outage. Keep the reports and try
+		// again next period — the kernel dedups per node by freshness,
+		// so re-delivering alongside newer reports is harmless.
+		obs.Default.Counter("adapt/forward_failures").Inc()
+		sc.mu.Lock()
+		sc.pending = append(batch, sc.pending...)
+		sc.mu.Unlock()
+	}
 }

@@ -1,8 +1,10 @@
 package adapt
 
 import (
+	"math"
 	"testing"
 
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/wirefmt/frametest"
@@ -32,4 +34,41 @@ func TestReportBatchWireCorrupt(t *testing.T) {
 		t.Fatal(err)
 	}
 	frametest.Corrupt[reportBatch, *reportBatch](t, enc)
+}
+
+// The sharded tree's control frames (ISSUE 8): the root's summary
+// receipt and its eager post-action reset push.
+func TestSummaryAckWireParity(t *testing.T) {
+	frametest.Parity[summaryAck, *summaryAck](t, []summaryAck{
+		{},
+		{Cluster: "c0", Seq: 7, Epoch: 3},
+		{Cluster: "grappe-é", Seq: math.MaxUint64, Epoch: 1 << 40, Req: coord.ReqState{
+			Nodes:        []core.NodeID{"c0/00", "узел-1"},
+			Clusters:     []core.ClusterID{"bad"},
+			MinBandwidth: 2e6,
+		}},
+	})
+}
+
+func TestShardResetWireParity(t *testing.T) {
+	frametest.Parity[shardReset, *shardReset](t, []shardReset{
+		{},
+		{Epoch: 5},
+		{Epoch: math.MaxUint64, Req: coord.ReqState{
+			Nodes:        []core.NodeID{"a/00"},
+			Clusters:     []core.ClusterID{"x", "y"},
+			MinBandwidth: math.SmallestNonzeroFloat64,
+		}},
+	})
+}
+
+func TestSummaryAckWireCorrupt(t *testing.T) {
+	ack := summaryAck{Cluster: "c0", Seq: 9, Epoch: 2, Req: coord.ReqState{
+		Nodes: []core.NodeID{"c0/01"}, Clusters: []core.ClusterID{"bad"}, MinBandwidth: 1e5,
+	}}
+	enc, err := ack.AppendWire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frametest.Corrupt[summaryAck, *summaryAck](t, enc)
 }

@@ -11,6 +11,9 @@
 //   - wire_roundtrip_session_gob: the same frame through the session
 //     gob stream — the historical arm, kept so the codec switch stays
 //     measurable against BENCH_5
+//   - coord_tick_10k: one sharded root-kernel tick over a 10,000-node
+//     world condensed into 100 cluster summaries — the O(clusters)
+//     coordination cost of the ISSUE 8 hierarchy
 //   - spawn_sync: end-to-end spawn+execute+sync of 256 children on one
 //     live satin node
 //   - fib_e2e: fib(20) across 2 clusters x 2 nodes — steals, WAN
@@ -20,7 +23,7 @@
 // baseline document and any shared benchmark that regressed beyond the
 // tolerance fails the run — the CI regression gate.
 //
-// Usage: bench [-out BENCH_6.json] [-against BENCH_6.json] [-skip-e2e]
+// Usage: bench [-out BENCH_7.json] [-against BENCH_7.json] [-skip-e2e]
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/deque"
 	"repro/internal/registry"
@@ -133,7 +137,7 @@ func fastReg() registry.Options {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "output JSON path (- for stdout)")
+	out := flag.String("out", "BENCH_7.json", "output JSON path (- for stdout)")
 	against := flag.String("against", "", "baseline JSON document; fail on regression beyond tolerance")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression vs -against")
 	skipE2E := flag.Bool("skip-e2e", false, "skip the multi-node end-to-end benchmarks")
@@ -163,6 +167,7 @@ func main() {
 	run("steal_kernel", benchStealKernel)
 	run("wire_roundtrip", benchWireRoundTrip)
 	run("wire_roundtrip_session_gob", benchWireRoundTripGob)
+	run("coord_tick_10k", benchCoordTick10k)
 	if !*skipE2E {
 		run("spawn_sync", benchSpawnSync)
 		run("fib_e2e", benchFibE2E)
@@ -334,6 +339,58 @@ func benchWireRoundTripGob(b *testing.B) {
 			b.Fatal(err)
 		}
 		<-done
+	}
+}
+
+// benchRootActuator satisfies coord.RootActuator with no-ops: the
+// benchmarked summaries sit mid-band, so the tick never acts.
+type benchRootActuator struct{}
+
+func (benchRootActuator) Provision(int, float64, coord.Veto) int        { return 0 }
+func (benchRootActuator) Evict([]core.NodeID, string) []core.NodeID     { return nil }
+func (benchRootActuator) ObservedBandwidth(core.ClusterID) float64      { return 0 }
+func (benchRootActuator) Annotate(string)                               {}
+func (benchRootActuator) ClusterNodes(core.ClusterID) []core.NodeID     { return nil }
+
+// benchCoordTick10k: one op = one sharded root-kernel tick over a
+// 10,000-node world condensed into 100 cluster summaries of 100 nodes
+// each (8 eviction proposals per summary) — the per-period root cost
+// the ISSUE 8 hierarchy keeps O(clusters).
+func benchCoordTick10k(b *testing.B) {
+	ecfg := core.DefaultConfig()
+	rk, err := coord.NewRoot(coord.Config{Engine: &ecfg}, benchRootActuator{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const clusters, perCluster, proposals = 100, 100, 8
+	ids := make([]core.ClusterID, 0, clusters)
+	for i := 0; i < clusters; i++ {
+		c := core.ClusterID(fmt.Sprintf("c%04d", i))
+		sum := coord.ClusterSummary{
+			Cluster: c, Seq: 1, Time: 100,
+			Nodes: perCluster, Stats: perCluster,
+			SpeedMax: 100, SpeedMin: 100,
+			WorkSum:  40 * perCluster, // eff 0.4 at speed 100: mid-band
+			EffSum:   0.4 * perCluster,
+			SpeedSum: 100 * perCluster,
+			InterSum: 0.05 * perCluster,
+		}
+		for p := 0; p < proposals; p++ {
+			sum.Proposals = append(sum.Proposals, coord.NodeSample{
+				Node:  core.NodeID(fmt.Sprintf("%s-n%03d", c, p)),
+				Speed: 100, Idle: 0.55, InterComm: 0.05,
+			})
+		}
+		ids = append(ids, c)
+		rk.Ingest(sum)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := rk.Tick(100, ids, clusters*perCluster)
+		if rec.Action != "none" {
+			b.Fatalf("benchmark tick acted: %q (%s)", rec.Action, rec.Detail)
+		}
 	}
 }
 

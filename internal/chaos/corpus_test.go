@@ -54,6 +54,66 @@ func TestChaosCorpusDES(t *testing.T) {
 	}
 }
 
+// TestChaosCorpusShardedDES is the coordinator-fault corpus (ISSUE 8):
+// every scenario runs on the sharded tree with coordinator kills in
+// the event mix. The invariants are the flat corpus's — blacklists
+// monotone, no re-provisioning after eviction, actions grounded in
+// fresh statistics — plus WAE recovery, which after a root kill can
+// only hold if the subs detected the silence, elected a successor, and
+// the successor resumed adaptation on fresh summaries.
+func TestChaosCorpusShardedDES(t *testing.T) {
+	seeds := make([]int64, 24)
+	for i := range seeds {
+		seeds[i] = int64(i + 101)
+	}
+	if testing.Short() {
+		seeds = seeds[:6]
+	}
+	// Coverage guard: the corpus must actually exercise both
+	// coordinator faults, or the failover path rots silently.
+	rootKills, subKills := 0, 0
+	for _, seed := range seeds {
+		for _, e := range Generate(seed, GenConfig{CoordFaults: true}).Events {
+			switch e.Kind {
+			case EvRootCrash:
+				rootKills++
+			case EvSubCrash:
+				subKills++
+			}
+		}
+	}
+	if rootKills == 0 || subKills == 0 {
+		t.Fatalf("corpus seeds draw %d root kills and %d sub kills; shift the seed window",
+			rootKills, subKills)
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc := Generate(seed, GenConfig{CoordFaults: true})
+			if !sc.Sharded {
+				t.Fatal("CoordFaults scenario not marked Sharded")
+			}
+			res, obs, err := RunDES(sc)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if !res.Completed {
+				t.Errorf("seed %d: aborted at horizon %.0fs after %d/%d iterations (events: %v)",
+					seed, sc.Horizon, len(res.Iterations), sc.Spec.Iterations, sc.Events)
+			}
+			for _, v := range Check(obs, CheckConfig{
+				EMin:            sc.DESParams().Adapt.EMin,
+				EMax:            sc.DESParams().Adapt.EMax,
+				DisturbEnd:      sc.DisturbEnd(),
+				RequireRecovery: true,
+			}) {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+		})
+	}
+}
+
 // The whole corpus is a pure function of its seeds.
 func TestChaosGeneratorDeterministic(t *testing.T) {
 	for _, seed := range []int64{1, 7, 1234} {
@@ -65,6 +125,10 @@ func TestChaosGeneratorDeterministic(t *testing.T) {
 	}
 	if reflect.DeepEqual(Generate(1, GenConfig{}), Generate(2, GenConfig{})) {
 		t.Fatal("different seeds generated identical scenarios")
+	}
+	a := Generate(7, GenConfig{CoordFaults: true})
+	if !reflect.DeepEqual(a, Generate(7, GenConfig{CoordFaults: true})) {
+		t.Fatal("CoordFaults generator is not deterministic")
 	}
 }
 

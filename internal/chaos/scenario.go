@@ -28,6 +28,12 @@ const (
 	EvDrop
 	// EvPartition cuts a cluster off entirely until Heal (live only).
 	EvPartition
+	// EvRootCrash kills the root coordinator (sharded runs only):
+	// adaptation pauses until the sub-coordinators elect a successor.
+	EvRootCrash
+	// EvSubCrash kills one cluster's sub-coordinator (sharded runs
+	// only); it restarts empty and re-learns the epoch from the root.
+	EvSubCrash
 )
 
 func (k EventKind) String() string {
@@ -42,6 +48,10 @@ func (k EventKind) String() string {
 		return "drop"
 	case EvPartition:
 		return "partition"
+	case EvRootCrash:
+		return "root-crash"
+	case EvSubCrash:
+		return "sub-crash"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -61,6 +71,10 @@ type Event struct {
 }
 
 func (e Event) String() string {
+	if e.Kind == EvRootCrash {
+		// The root crash is a whole-tree fault; no cluster to name.
+		return fmt.Sprintf("t=%.0f %s", e.At, e.Kind)
+	}
 	s := fmt.Sprintf("t=%.0f %s %s", e.At, e.Kind, e.Cluster)
 	switch e.Kind {
 	case EvLoad:
@@ -96,6 +110,10 @@ type Scenario struct {
 	// Refuge is a cluster the generator never disturbs, so the grid
 	// always retains healthy capacity and WAE recovery is achievable.
 	Refuge core.ClusterID
+
+	// Sharded marks a scenario generated for the hierarchical
+	// coordinator tree; coordinator-kill events require it.
+	Sharded bool
 }
 
 // DisturbEnd is the time the last disturbance lands or heals — the
@@ -126,6 +144,10 @@ type GenConfig struct {
 	// LiveFaults includes transport-level kinds (EvDrop, EvPartition)
 	// that only the live runtime can apply. Leave false for DES runs.
 	LiveFaults bool
+	// CoordFaults includes coordinator kills (EvRootCrash, EvSubCrash)
+	// and marks the scenario Sharded — the flat coordinator has no
+	// failover to test.
+	CoordFaults bool
 }
 
 func (g *GenConfig) defaults() {
@@ -245,6 +267,10 @@ func Generate(seed int64, cfg GenConfig) Scenario {
 	if cfg.LiveFaults {
 		kinds = append(kinds, EvDrop, EvPartition)
 	}
+	if cfg.CoordFaults {
+		sc.Sharded = true
+		kinds = append(kinds, EvRootCrash, EvSubCrash)
+	}
 	nEvents := span(1, cfg.MaxEvents)
 	for i := 0; i < nEvents && len(targets) > 0; i++ {
 		e := Event{
@@ -273,6 +299,13 @@ func Generate(seed int64, cfg GenConfig) Scenario {
 			e.Heal = e.At + cfg.Period*(1+2*rng.Float64())
 		case EvPartition:
 			e.Heal = e.At + cfg.Period*(0.5+rng.Float64())
+		case EvRootCrash:
+			// A whole-tree fault; recovery takes FailoverAfter summary
+			// periods of silence plus the successor's first fresh tick.
+			e.Cluster = ""
+		case EvSubCrash:
+			// Any disturbed-side cluster works: the sub restarts empty
+			// after the detection delay and re-learns the epoch.
 		}
 		sc.Events = append(sc.Events, e)
 	}
@@ -299,6 +332,10 @@ func (sc Scenario) Injections() []des.Injection {
 		case EvCrash:
 			inj.Kind = des.InjCrash
 			inj.Count = e.Count
+		case EvRootCrash:
+			inj.Kind = des.InjCrashRoot
+		case EvSubCrash:
+			inj.Kind = des.InjCrashSub
 		default:
 			continue
 		}
@@ -322,6 +359,7 @@ func (sc Scenario) DESParams() des.Params {
 		MaxTime: sc.Horizon,
 	}
 	p.Mon.Period = sc.Period
+	p.Sharded = sc.Sharded
 	return p
 }
 

@@ -215,7 +215,9 @@ func (k *Kernel) Forget(id core.NodeID) {
 	delete(k.prevStats, id)
 }
 
-// Reports returns a copy of the kernel's current report view.
+// Reports returns a copy of the kernel's current report view. Hot
+// paths that only need to look should use EachReport instead — this
+// copy allocates a fresh map per call.
 func (k *Kernel) Reports() map[core.NodeID]metrics.Report {
 	k.mu.Lock()
 	defer k.mu.Unlock()
@@ -224,6 +226,19 @@ func (k *Kernel) Reports() map[core.NodeID]metrics.Report {
 		out[id] = rep
 	}
 	return out
+}
+
+// EachReport calls fn for every stored report under the kernel lock,
+// stopping early when fn returns false. It allocates nothing (pinned
+// by an AllocsPerRun guard); fn must not call back into the kernel.
+func (k *Kernel) EachReport(fn func(metrics.Report) bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for _, rep := range k.reports {
+		if !fn(rep) {
+			return
+		}
+	}
 }
 
 // Protect marks nodes as unremovable (the node hosting the root of the

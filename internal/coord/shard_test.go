@@ -1,0 +1,553 @@
+package coord
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/wirefmt/frametest"
+)
+
+// --- wire codec golden suite ------------------------------------------
+
+// TestClusterSummaryWireParity runs the summary frame's edge cases
+// through the binary codec and gob: zero values, extreme floats,
+// unicode IDs, nil-vs-populated link maps, and a fully loaded frame.
+func TestClusterSummaryWireParity(t *testing.T) {
+	frametest.Parity[ClusterSummary, *ClusterSummary](t, []ClusterSummary{
+		{},
+		{Cluster: "A", Seq: 1, Epoch: 0, Time: 100, Nodes: 4, Stats: 4,
+			SpeedMax: 100, SpeedMin: 50, WorkSum: 180, ZeroWork: 0.5,
+			EffSum: 2.5, SpeedSum: 300, InterSum: 0.75,
+			InterBWSum: 4e6, InterBWCnt: 2},
+		{Cluster: "кластер-ü", Seq: math.MaxUint64, Epoch: 7,
+			Time: -1, Nodes: -1, Stats: 0,
+			SpeedMax: math.MaxFloat64, SpeedMin: math.SmallestNonzeroFloat64,
+			Links: map[core.ClusterID]core.LinkSample{
+				"B":    {Seconds: 0.5, Bytes: 1 << 20},
+				"远方集群": {Seconds: 3, Bytes: 7},
+			},
+			Proposals: []NodeSample{
+				{Node: "n0", Speed: 100, Idle: 0.25, IntraComm: 0.125, InterComm: 0.5},
+				{Node: "узел-1"},
+			},
+			Req: ReqState{
+				Nodes:        []core.NodeID{"bad-1", "bad-2"},
+				Clusters:     []core.ClusterID{"C"},
+				MinBandwidth: 5e5,
+			}},
+		{Cluster: "A", Links: map[core.ClusterID]core.LinkSample{}},
+	})
+}
+
+func TestReqStateWireParity(t *testing.T) {
+	frametest.Parity[ReqState, *ReqState](t, []ReqState{
+		{},
+		{Nodes: []core.NodeID{"n1"}, MinBandwidth: 1e6},
+		{Nodes: []core.NodeID{"n1", "узел-2"}, Clusters: []core.ClusterID{"A", "B"}, MinBandwidth: 0.5},
+	})
+}
+
+func TestClusterSummaryWireCorrupt(t *testing.T) {
+	sum := ClusterSummary{
+		Cluster: "A", Seq: 3, Epoch: 1, Time: 200, Nodes: 2, Stats: 2,
+		SpeedMax: 100, SpeedMin: 50, WorkSum: 75, EffSum: 1.5,
+		SpeedSum: 150, InterSum: 0.25, InterBWSum: 2e6, InterBWCnt: 1,
+		Links:     map[core.ClusterID]core.LinkSample{"B": {Seconds: 1, Bytes: 2e6}},
+		Proposals: []NodeSample{{Node: "n0", Speed: 50, Idle: 0.5}},
+		Req:       ReqState{Nodes: []core.NodeID{"bad"}, MinBandwidth: 1e5},
+	}
+	enc, err := sum.AppendWire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frametest.Corrupt[ClusterSummary, *ClusterSummary](t, enc)
+}
+
+// --- flat vs sharded decision parity ----------------------------------
+
+// parityActuator is the shared fake runtime for the parity harness: it
+// grants every provision, evicts every victim from its own live world,
+// and records all calls so the two pipelines' effect sequences can be
+// compared verbatim.
+type parityActuator struct {
+	live       map[core.NodeID]core.ClusterID
+	provisions []int
+	evictions  [][]core.NodeID
+	labels     []string
+}
+
+func (a *parityActuator) Provision(n int, minBandwidth float64, veto Veto) int {
+	a.provisions = append(a.provisions, n)
+	return n
+}
+
+func (a *parityActuator) Evict(victims []core.NodeID, reason string) []core.NodeID {
+	for _, id := range victims {
+		delete(a.live, id)
+	}
+	a.evictions = append(a.evictions, append([]core.NodeID(nil), victims...))
+	return victims
+}
+
+func (a *parityActuator) ObservedBandwidth(core.ClusterID) float64 { return 0 }
+
+func (a *parityActuator) Annotate(label string) { a.labels = append(a.labels, label) }
+
+// ClusterNodes makes the actuator a RootActuator: sorted live roster of
+// one cluster, which is exactly the flat kernel's eviction order for a
+// cluster whose nodes all report.
+func (a *parityActuator) ClusterNodes(c core.ClusterID) []core.NodeID {
+	var out []core.NodeID
+	for id, cl := range a.live {
+		if cl == c {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+var _ RootActuator = (*parityActuator)(nil)
+
+// parityHarness drives the flat kernel and the sharded tree through the
+// same report script and lets the test compare the period records.
+type parityHarness struct {
+	t    *testing.T
+	fk   *Kernel
+	fact *parityActuator
+	rk   *RootKernel
+	ract *parityActuator
+	subs map[core.ClusterID]*SubKernel
+
+	epoch uint64 // the subs' adopted root reset epoch
+}
+
+func newParityHarness(t *testing.T, world map[core.NodeID]core.ClusterID) *parityHarness {
+	t.Helper()
+	cp := func() map[core.NodeID]core.ClusterID {
+		m := make(map[core.NodeID]core.ClusterID, len(world))
+		for id, c := range world {
+			m[id] = c
+		}
+		return m
+	}
+	h := &parityHarness{
+		t:    t,
+		fact: &parityActuator{live: cp()},
+		ract: &parityActuator{live: cp()},
+		subs: make(map[core.ClusterID]*SubKernel),
+	}
+	h.fk = newKernel(t, Config{}, h.fact)
+	ecfg := core.DefaultConfig()
+	rk, err := NewRoot(Config{Engine: &ecfg}, h.ract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.rk = rk
+	for _, c := range world {
+		if _, ok := h.subs[c]; !ok {
+			// Proposal cap 0: every reporting node is proposed, the
+			// configuration under which the sharded ranking is exact.
+			h.subs[c] = NewSubKernel(c, 0, ecfg.Weights)
+		}
+	}
+	return h
+}
+
+// period feeds one period's reports to both pipelines and runs both
+// ticks. Reports of nodes a pipeline already evicted are dropped for
+// that pipeline only, so a divergence would become visible instead of
+// being masked.
+func (h *parityHarness) period(pi int, reports []metrics.Report) (flat, sharded PeriodRecord) {
+	now := float64(pi+1) * dur
+
+	// Flat pipeline.
+	for _, r := range reports {
+		if _, ok := h.fact.live[r.Node]; ok {
+			h.fk.Report(r)
+		}
+	}
+	flatLive := make([]core.NodeID, 0, len(h.fact.live))
+	for id := range h.fact.live {
+		flatLive = append(flatLive, id)
+	}
+	flat = h.fk.Tick(now, flatLive)
+
+	// Sharded pipeline: reports land at the cluster's sub-kernel, each
+	// sub summarizes, the root ingests and ticks, and an epoch bump
+	// resets every sub (the driver contract of des and adapt).
+	byCluster := make(map[core.ClusterID][]core.NodeID)
+	for id, c := range h.ract.live {
+		byCluster[c] = append(byCluster[c], id)
+	}
+	for _, r := range reports {
+		if _, ok := h.ract.live[r.Node]; ok {
+			h.subs[r.Cluster].Report(r)
+		}
+	}
+	clusters := make([]core.ClusterID, 0, len(byCluster))
+	for c := range byCluster {
+		clusters = append(clusters, c)
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i] < clusters[j] })
+	for _, c := range clusters {
+		sum := h.subs[c].Summarize(now, byCluster[c])
+		sum.Epoch = h.epoch
+		if !h.rk.Ingest(sum) {
+			h.t.Fatalf("period %d: summary of %s rejected", pi, c)
+		}
+	}
+	sharded = h.rk.Tick(now, clusters, len(h.ract.live))
+	if after := h.rk.ResetEpoch(); after != h.epoch {
+		h.epoch = after
+		for _, sub := range h.subs {
+			sub.Reset()
+		}
+	}
+	return flat, sharded
+}
+
+func (h *parityHarness) compare(pi int, flat, sharded PeriodRecord) {
+	h.t.Helper()
+	if flat.Action != sharded.Action || flat.Detail != sharded.Detail {
+		h.t.Fatalf("period %d: decisions diverge\n  flat:    %q %q\n  sharded: %q %q",
+			pi, flat.Action, flat.Detail, sharded.Action, sharded.Detail)
+	}
+	if flat.Added != sharded.Added || flat.Removed != sharded.Removed {
+		h.t.Fatalf("period %d: effects diverge: flat +%d/-%d, sharded +%d/-%d",
+			pi, flat.Added, flat.Removed, sharded.Added, sharded.Removed)
+	}
+	if flat.Nodes != sharded.Nodes || flat.Stats != sharded.Stats {
+		h.t.Fatalf("period %d: census diverges: flat %d/%d, sharded %d/%d",
+			pi, flat.Nodes, flat.Stats, sharded.Nodes, sharded.Stats)
+	}
+	if !approx(flat.WAE, sharded.WAE) {
+		h.t.Fatalf("period %d: WAE diverges: flat %v, sharded %v", pi, flat.WAE, sharded.WAE)
+	}
+}
+
+// finish asserts the two runs left identical state behind: the same
+// effect sequences, the same learned requirements, the same survivors.
+func (h *parityHarness) finish() {
+	h.t.Helper()
+	if !equalIntSlices(h.fact.provisions, h.ract.provisions) {
+		h.t.Errorf("provision sequences diverge: flat %v, sharded %v",
+			h.fact.provisions, h.ract.provisions)
+	}
+	if len(h.fact.evictions) != len(h.ract.evictions) {
+		h.t.Fatalf("eviction counts diverge: flat %v, sharded %v",
+			h.fact.evictions, h.ract.evictions)
+	}
+	for i := range h.fact.evictions {
+		if !equalNodeSlices(h.fact.evictions[i], h.ract.evictions[i]) {
+			h.t.Errorf("eviction %d diverges: flat %v, sharded %v",
+				i, h.fact.evictions[i], h.ract.evictions[i])
+		}
+	}
+	if fmt.Sprint(h.fact.labels) != fmt.Sprint(h.ract.labels) {
+		h.t.Errorf("annotations diverge:\n  flat:    %v\n  sharded: %v",
+			h.fact.labels, h.ract.labels)
+	}
+	fr, sr := h.fk.Requirements(), h.rk.Requirements()
+	if !equalNodeSlices(sortedNodes(fr.BlacklistedNodes()), sortedNodes(sr.BlacklistedNodes())) {
+		h.t.Errorf("node blacklists diverge: flat %v, sharded %v",
+			fr.BlacklistedNodes(), sr.BlacklistedNodes())
+	}
+	fc, sc := fr.BlacklistedClusters(), sr.BlacklistedClusters()
+	sort.Slice(fc, func(i, j int) bool { return fc[i] < fc[j] })
+	sort.Slice(sc, func(i, j int) bool { return sc[i] < sc[j] })
+	if fmt.Sprint(fc) != fmt.Sprint(sc) {
+		h.t.Errorf("cluster blacklists diverge: flat %v, sharded %v", fc, sc)
+	}
+	if fr.MinBandwidth() != sr.MinBandwidth() {
+		h.t.Errorf("learned bandwidth diverges: flat %v, sharded %v",
+			fr.MinBandwidth(), sr.MinBandwidth())
+	}
+	if fmt.Sprint(sortedLive(h.fact.live)) != fmt.Sprint(sortedLive(h.ract.live)) {
+		h.t.Errorf("surviving nodes diverge: flat %v, sharded %v",
+			sortedLive(h.fact.live), sortedLive(h.ract.live))
+	}
+}
+
+func equalIntSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalNodeSlices(a, b []core.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedNodes(ids []core.NodeID) []core.NodeID {
+	out := append([]core.NodeID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedLive(m map[core.NodeID]core.ClusterID) []core.NodeID {
+	out := make([]core.NodeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestFlatShardedDecisionParity is ISSUE 8's parity pin: on a small
+// world with an uncapped proposal budget, the sharded tree must produce
+// the flat kernel's decision sequence verbatim — same actions, same
+// reason strings, same victims, same blacklists — across a script that
+// exercises grow, the within-band case, worst-node shrink, and the
+// inter-comm whole-cluster eviction. All report values are chosen
+// binary-exact so the reassociated WAE arithmetic cannot drift.
+func TestFlatShardedDecisionParity(t *testing.T) {
+	h := newParityHarness(t, map[core.NodeID]core.ClusterID{
+		"a1": "A", "a2": "A", "b1": "B", "b2": "B", "c1": "C", "c2": "C",
+	})
+	all := func(period int, mk func(n core.NodeID, c core.ClusterID) metrics.Report) []metrics.Report {
+		var out []metrics.Report
+		for _, nc := range []struct {
+			n core.NodeID
+			c core.ClusterID
+		}{{"a1", "A"}, {"a2", "A"}, {"b1", "B"}, {"b2", "B"}, {"c1", "C"}, {"c2", "C"}} {
+			out = append(out, mk(nc.n, nc.c))
+		}
+		return out
+	}
+
+	// Period 0: everyone 75% efficient -> WAE 0.750 > EMax, grow by
+	// round(6·0.75/0.4)-6 = 5.
+	f, s := h.period(0, all(0, func(n core.NodeID, c core.ClusterID) metrics.Report {
+		return rep(n, c, 0, 25, 0, 0, 100, 0)
+	}))
+	h.compare(0, f, s)
+	if f.Action != "add" || f.Added != 5 {
+		t.Fatalf("period 0: want add 5, got %q +%d (%s)", f.Action, f.Added, f.Detail)
+	}
+
+	// Period 1: 43.75% efficient -> within band, no action.
+	f, s = h.period(1, all(1, func(n core.NodeID, c core.ClusterID) metrics.Report {
+		return rep(n, c, 1, 56.25, 0, 0, 100, 0)
+	}))
+	h.compare(1, f, s)
+	if f.Action != "none" {
+		t.Fatalf("period 1: want none, got %q (%s)", f.Action, f.Detail)
+	}
+
+	// Period 2: idle jumps to 87.5%; the two-period smoothing puts the
+	// WAE at (0.4375+0.125)/2 = 0.28125 < EMin on both sides, and the
+	// worst-cluster bonus (tie broken towards cluster A) selects a1, a2.
+	f, s = h.period(2, all(2, func(n core.NodeID, c core.ClusterID) metrics.Report {
+		return rep(n, c, 2, 87.5, 0, 0, 100, 0)
+	}))
+	h.compare(2, f, s)
+	if f.Action != "remove-nodes" || f.Removed != 2 {
+		t.Fatalf("period 2: want remove-nodes 2, got %q -%d (%s)", f.Action, f.Removed, f.Detail)
+	}
+
+	// Period 3: cluster B's inter-cluster overhead dominates (50% vs
+	// 12.5%) with WAE 0.1875 < EMin -> whole-cluster eviction, learned
+	// bandwidth from B's reported achieved throughput.
+	f, s = h.period(3, []metrics.Report{
+		rep("b1", "B", 3, 37.5, 0, 50, 100, 2e6),
+		rep("b2", "B", 3, 37.5, 0, 50, 100, 2e6),
+		rep("c1", "C", 3, 62.5, 0, 12.5, 100, 0),
+		rep("c2", "C", 3, 62.5, 0, 12.5, 100, 0),
+	})
+	h.compare(3, f, s)
+	if f.Action != "remove-cluster" || f.Removed != 2 {
+		t.Fatalf("period 3: want remove-cluster 2, got %q -%d (%s)", f.Action, f.Removed, f.Detail)
+	}
+
+	// Period 4: the surviving cluster settles inside the band.
+	f, s = h.period(4, []metrics.Report{
+		rep("c1", "C", 4, 56.25, 0, 0, 100, 0),
+		rep("c2", "C", 4, 56.25, 0, 0, 100, 0),
+	})
+	h.compare(4, f, s)
+	if f.Action != "none" {
+		t.Fatalf("period 4: want none, got %q (%s)", f.Action, f.Detail)
+	}
+
+	h.finish()
+	req := h.rk.Requirements()
+	if req.MinBandwidth() != 2e6 {
+		t.Errorf("learned bandwidth = %v, want 2e6 from cluster B's reports", req.MinBandwidth())
+	}
+}
+
+// TestFlatShardedBandwidthCulpritParity pins the measurement-based
+// cluster-drop rule across the shard split: the per-cluster link-sample
+// partials must reproduce the flat pair-bandwidth estimation exactly.
+func TestFlatShardedBandwidthCulpritParity(t *testing.T) {
+	h := newParityHarness(t, map[core.NodeID]core.ClusterID{
+		"d1": "D", "d2": "D", "e1": "E", "e2": "E", "f1": "F", "f2": "F",
+	})
+	link := func(peer core.ClusterID, sec, bytes float64) map[core.ClusterID]core.LinkSample {
+		return map[core.ClusterID]core.LinkSample{peer: {Seconds: sec, Bytes: bytes}}
+	}
+	mk := func(n core.NodeID, c core.ClusterID, links map[core.ClusterID]core.LinkSample) metrics.Report {
+		r := rep(n, c, 0, 87.5, 0, 0, 100, 0)
+		r.Links = links
+		return r
+	}
+	// Pair D-F moves 10 MB at 10 MB/s; pair D-E moves 2 MB at 0.5 MB/s.
+	// Cluster E's best pair (0.5 MB/s) is under 10% of the healthiest
+	// pair -> E is the culprit, evacuated with the measured bandwidth
+	// becoming the learned bound.
+	f, s := h.period(0, []metrics.Report{
+		mk("d1", "D", link("F", 0.5, 5e6)),
+		mk("d2", "D", link("F", 0.5, 5e6)),
+		mk("e1", "E", link("D", 2, 1e6)),
+		mk("e2", "E", link("D", 2, 1e6)),
+		mk("f1", "F", nil),
+		mk("f2", "F", nil),
+	})
+	h.compare(0, f, s)
+	if f.Action != "remove-cluster" || f.Removed != 2 {
+		t.Fatalf("want remove-cluster 2, got %q -%d (%s)", f.Action, f.Removed, f.Detail)
+	}
+	h.finish()
+	if bw := h.rk.Requirements().MinBandwidth(); bw != 5e5 {
+		t.Errorf("learned bandwidth = %v, want the measured 5e5", bw)
+	}
+}
+
+// --- allocation guards -------------------------------------------------
+
+// TestEachReportNoAllocs pins the satellite fix for Reports(): the
+// iteration-based accessors must not copy the report map.
+func TestEachReportNoAllocs(t *testing.T) {
+	k := newKernel(t, Config{}, &scriptedActuator{})
+	for i := 0; i < 32; i++ {
+		k.Report(rep(core.NodeID(fmt.Sprintf("n%02d", i)), "A", 0, 10, 0, 0, 100, 0))
+	}
+	count := 0
+	fn := func(metrics.Report) bool { count++; return true }
+	if allocs := testing.AllocsPerRun(100, func() { k.EachReport(fn) }); allocs != 0 {
+		t.Errorf("Kernel.EachReport allocates %.1f per run, want 0", allocs)
+	}
+	if count == 0 {
+		t.Fatal("EachReport visited no reports")
+	}
+
+	sk := NewSubKernel("A", 0, core.DefaultConfig().Weights)
+	for i := 0; i < 32; i++ {
+		sk.Report(rep(core.NodeID(fmt.Sprintf("n%02d", i)), "A", 0, 10, 0, 0, 100, 0))
+	}
+	if allocs := testing.AllocsPerRun(100, func() { sk.EachReport(fn) }); allocs != 0 {
+		t.Errorf("SubKernel.EachReport allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// --- tick cost benchmarks ----------------------------------------------
+
+// benchSummary fabricates one cluster's summary with a mid-band WAE so
+// the benchmarked Tick never acts (no reset, state persists across
+// iterations) and a bounded proposal list, the intended big-grid shape.
+func benchSummary(i, nodes, proposals int) ClusterSummary {
+	c := core.ClusterID(fmt.Sprintf("c%04d", i))
+	sum := ClusterSummary{
+		Cluster: c, Seq: 1, Time: 100,
+		Nodes: nodes, Stats: nodes,
+		SpeedMax: 100, SpeedMin: 100,
+		WorkSum: 40 * float64(nodes), // eff 0.4 at speed 100
+		EffSum:  0.4 * float64(nodes),
+		SpeedSum: 100 * float64(nodes),
+		InterSum: 0.05 * float64(nodes),
+	}
+	for p := 0; p < proposals; p++ {
+		sum.Proposals = append(sum.Proposals, NodeSample{
+			Node:  core.NodeID(fmt.Sprintf("%s-n%03d", c, p)),
+			Speed: 100, Idle: 0.55, InterComm: 0.05,
+		})
+	}
+	return sum
+}
+
+// BenchmarkRootKernelTick measures the sharded root's per-period cost:
+// O(clusters · proposal cap), independent of the node count. The
+// 10k/100k arms back the EXPERIMENTS.md table and the bench gate.
+func BenchmarkRootKernelTick(b *testing.B) {
+	for _, bc := range []struct {
+		name              string
+		clusters, perClus int
+	}{
+		{"200nodes_2clusters", 2, 100},
+		{"2knodes_20clusters", 20, 100},
+		{"10knodes_100clusters", 100, 100},
+		{"100knodes_1000clusters", 1000, 100},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			ecfg := core.DefaultConfig()
+			rk, err := NewRoot(Config{Engine: &ecfg}, &parityActuator{live: map[core.NodeID]core.ClusterID{}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			clusters := make([]core.ClusterID, 0, bc.clusters)
+			for i := 0; i < bc.clusters; i++ {
+				sum := benchSummary(i, bc.perClus, 8)
+				clusters = append(clusters, sum.Cluster)
+				rk.Ingest(sum)
+			}
+			total := bc.clusters * bc.perClus
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := rk.Tick(100, clusters, total)
+				if rec.Action != "none" {
+					b.Fatalf("benchmark tick acted: %q (%s)", rec.Action, rec.Detail)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFlatKernelTick is the contrast arm: the flat kernel's tick
+// is O(nodes log nodes) with per-node smoothing, the cost the shard
+// split removes from the root.
+func BenchmarkFlatKernelTick(b *testing.B) {
+	for _, nodes := range []int{200, 2000, 10000} {
+		b.Run(fmt.Sprintf("%dnodes", nodes), func(b *testing.B) {
+			ecfg := core.DefaultConfig()
+			k, err := New(Config{Engine: &ecfg}, &parityActuator{live: map[core.NodeID]core.ClusterID{}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			live := make([]core.NodeID, 0, nodes)
+			for i := 0; i < nodes; i++ {
+				id := core.NodeID(fmt.Sprintf("n%05d", i))
+				live = append(live, id)
+				// Idle 55% at speed 100: eff 0.45, inside the band.
+				k.Report(rep(id, core.ClusterID(fmt.Sprintf("c%04d", i/100)), 0, 55, 0, 0, 100, 0))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := k.Tick(100, live)
+				if rec.Action != "none" {
+					b.Fatalf("benchmark tick acted: %q (%s)", rec.Action, rec.Detail)
+				}
+			}
+		})
+	}
+}

@@ -104,3 +104,10 @@ func RankNodes(stats []NodeStats, w BadnessWeights) []NodeBadness {
 	})
 	return out
 }
+
+// InvSpeed exposes the guarded 1/speed term of the badness formulas.
+// The sharded root kernel (internal/coord) recomputes node badness from
+// cluster summaries and must score proposals with exactly the same
+// floor the flat ranking uses, or flat and hierarchical runs would
+// diverge on unmeasured nodes.
+func InvSpeed(rel float64) float64 { return invSpeed(rel) }

@@ -39,9 +39,24 @@ func (s *Sim) coordinatorTick() {
 // MonitorOnlyRun reports whether this run only measures (runtime 3).
 func (s *Sim) MonitorOnlyRun() bool { return s.p.MonitorOnly }
 
-// LastReports returns a copy of the coordinator's current report view.
-func (s *Sim) LastReports() map[core.NodeID]metrics.Report {
-	return s.kern.Reports()
+// EachReport iterates the coordinator's current report view without
+// copying it (flat kernel in flat mode, the per-cluster sub-kernels in
+// sharded mode).
+func (s *Sim) EachReport(fn func(metrics.Report) bool) {
+	if s.kern != nil {
+		s.kern.EachReport(fn)
+		return
+	}
+	for _, c := range s.subOrder() {
+		stop := false
+		s.subs[c].kern.EachReport(func(rep metrics.Report) bool {
+			stop = !fn(rep)
+			return !stop
+		})
+		if stop {
+			return
+		}
+	}
 }
 
 // simActuator applies the kernel's effects inside the simulation. It
@@ -139,7 +154,21 @@ func (a *simActuator) ObservedBandwidth(c core.ClusterID) float64 {
 
 func (a *simActuator) Annotate(label string) { a.s.annotate(label) }
 
+// ClusterNodes enumerates a cluster's live participants — the root
+// kernel's whole-cluster eviction asks the runtime for the roster
+// because the root deliberately holds no per-node state.
+func (a *simActuator) ClusterNodes(c core.ClusterID) []core.NodeID {
+	var out []core.NodeID
+	for _, n := range a.s.order {
+		if n.cluster == c {
+			out = append(out, n.id)
+		}
+	}
+	return out
+}
+
 var (
-	_ coord.Actuator = (*simActuator)(nil)
-	_ coord.Migrator = (*simActuator)(nil)
+	_ coord.Actuator     = (*simActuator)(nil)
+	_ coord.Migrator     = (*simActuator)(nil)
+	_ coord.RootActuator = (*simActuator)(nil)
 )

@@ -77,6 +77,14 @@ const (
 	// InjCrash makes nodes fail abruptly: their queued and running
 	// jobs are recomputed elsewhere after the fault is detected.
 	InjCrash
+	// InjCrashRoot kills the root coordinator (sharded runs only):
+	// adaptation pauses until the sub-coordinators detect the silence
+	// and elect a successor.
+	InjCrashRoot
+	// InjCrashSub kills one cluster's sub-coordinator (sharded runs
+	// only); it restarts empty after CrashDetect and re-learns the
+	// reset epoch from the root's next ack.
+	InjCrashSub
 )
 
 // Injection is a scheduled disturbance of the environment.
@@ -148,6 +156,20 @@ type Params struct {
 	// 1.5).
 	OpportunisticFactor float64
 
+	// Sharded runs the hierarchical coordinator tree instead of the
+	// flat kernel: one sub-coordinator per cluster aggregates its
+	// cluster's reports into a ClusterSummary, and the root tick costs
+	// O(clusters) however many nodes the world holds.
+	Sharded bool
+	// ProposalCap bounds the eviction candidates each ClusterSummary
+	// carries (0 = all reporting nodes, which keeps flat/sharded
+	// decision parity exact on small worlds).
+	ProposalCap int
+	// FailoverAfter is how many consecutive unacknowledged summary
+	// periods a sub-coordinator tolerates before electing a new root
+	// (default 2).
+	FailoverAfter int
+
 	// Observe, when set, is called after every coordinator tick with
 	// the period record, the learned requirements, and the per-cluster
 	// live-node counts at that instant. The chaos harness uses it to
@@ -199,6 +221,9 @@ func (p *Params) Defaults() {
 	}
 	if p.Mon.BenchBudget == 0 {
 		p.Mon.BenchBudget = 0.03
+	}
+	if p.FailoverAfter == 0 {
+		p.FailoverAfter = 2
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/topo"
 )
 
@@ -24,9 +25,10 @@ func TestProbeClusterInterComm(t *testing.T) {
 		}
 		s.k.Run()
 		var stats []core.NodeStats
-		for _, rep := range s.LastReports() {
+		s.EachReport(func(rep metrics.Report) bool {
 			stats = append(stats, rep.Stats())
-		}
+			return true
+		})
 		t.Logf("--- %s (WAE %.3f)", name, core.WeightedAverageEfficiency(stats))
 		for _, c := range core.AggregateClusters(stats) {
 			t.Logf("cluster %-5s nodes=%2d relSpeed=%.2f interComm=%.3f meanOverhead=%.3f",

@@ -1,0 +1,10 @@
+//go:build !race
+
+package des
+
+// raceEnabled reports whether the race detector is compiled in; the
+// 10k-node world test skips under it (the detector's ~10× slowdown
+// turns a 4-minute run into an hour, and the simulator is
+// single-goroutine — race coverage of the sharded protocol comes from
+// the chaos corpus and the live adapt failover tests).
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package des
+
+const raceEnabled = true

@@ -1,0 +1,334 @@
+package des
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// The simulator's mirror of the sharded coordinator tree (ISSUE 8):
+// one coord.SubKernel per cluster ingests that cluster's reports and
+// condenses each period into a ClusterSummary; the root consumes only
+// summaries, so its per-tick cost is O(clusters) however many nodes the
+// world holds. The message flow mirrors the real runtime — summaries
+// and acks travel with network latency, the root pushes resets after
+// acting, subs detect root death through missed acks and elect the
+// lowest live cluster as successor.
+
+// desSub is one cluster's sub-coordinator.
+type desSub struct {
+	cluster core.ClusterID
+	kern    *coord.SubKernel
+	crashed bool
+
+	missed     int  // consecutive periods without an ack
+	pendingAck bool // summary sent, ack not yet seen
+	epoch      uint64
+	req        coord.ReqState // cached root requirements (failover seed)
+}
+
+// desRoot is the root coordinator instance; a failover replaces it
+// wholesale, which is what makes "the old root is dead" unambiguous in
+// the delivery closures below.
+type desRoot struct {
+	host    core.ClusterID
+	kern    *coord.RootKernel
+	crashed bool
+}
+
+// sharded reports whether this run drives the sharded tree (then
+// s.kern is nil and s.subs/s.root carry the coordination state).
+func (s *Sim) sharded() bool { return s.kern == nil }
+
+// subFor lazily creates the sub-coordinator of a cluster the first
+// time a node of that cluster appears.
+func (s *Sim) subFor(c core.ClusterID) *desSub {
+	sub, ok := s.subs[c]
+	if !ok {
+		var w core.BadnessWeights
+		if s.p.Adapt != nil {
+			w = s.p.Adapt.Weights
+		} else {
+			w = core.DefaultConfig().Weights
+		}
+		sub = &desSub{
+			cluster: c,
+			kern:    coord.NewSubKernel(c, s.p.ProposalCap, w),
+		}
+		s.subs[c] = sub
+	}
+	return sub
+}
+
+// subOrder returns the sub-coordinators' clusters in deterministic
+// order.
+func (s *Sim) subOrder() []core.ClusterID {
+	out := make([]core.ClusterID, 0, len(s.subs))
+	for c := range s.subs {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// forgetNode routes a departure to whichever kernel holds the node's
+// reports.
+func (s *Sim) forgetNode(n *simNode) {
+	if s.kern != nil {
+		s.kern.Forget(n.id)
+		return
+	}
+	if sub, ok := s.subs[n.cluster]; ok {
+		sub.kern.Forget(n.id)
+	}
+}
+
+// requirements returns the live coordinator's learned requirements.
+func (s *Sim) requirements() *core.Requirements {
+	if s.kern != nil {
+		return s.kern.Requirements()
+	}
+	return s.root.kern.Requirements()
+}
+
+// syncProtected pushes the protected set to the live root kernel.
+func (s *Sim) syncProtected() {
+	if s.root == nil {
+		return
+	}
+	if s.master != nil {
+		s.root.kern.SetProtected(s.master.id)
+	} else {
+		s.root.kern.SetProtected()
+	}
+}
+
+// deliverReport lands one node's report at its cluster's
+// sub-coordinator (sharded mode's analogue of the flat kernel's
+// Report). Reports sent while the sub is down are lost, exactly as
+// messages to a crashed process are.
+func (s *Sim) deliverReport(c core.ClusterID, rep metrics.Report) {
+	if sub, ok := s.subs[c]; ok && !sub.crashed {
+		sub.kern.Report(rep)
+	}
+}
+
+// subsTick runs every sub-coordinator's period: summarize the cluster,
+// send the summary to the root, count missed acks, and — when the root
+// has been silent for FailoverAfter periods — elect a successor. One
+// recurring event iterates all subs (the real subs tick independently;
+// collapsing them keeps the event queue small at 10k nodes without
+// changing what the root observes).
+func (s *Sim) subsTick() {
+	if s.done {
+		return
+	}
+	defer func() {
+		if !s.done {
+			s.k.After(s.p.Mon.Period, s.subsTick)
+		}
+	}()
+	// One pass over the live set gives every cluster's census.
+	liveBy := make(map[core.ClusterID][]core.NodeID, len(s.subs))
+	for _, n := range s.order {
+		liveBy[n.cluster] = append(liveBy[n.cluster], n.id)
+	}
+	now := float64(s.k.Now())
+	anyStarved := false
+	for _, c := range s.subOrder() {
+		sub := s.subs[c]
+		if sub.crashed {
+			continue
+		}
+		if sub.pendingAck {
+			// Last period's summary was never acknowledged.
+			sub.missed++
+			sub.pendingAck = false
+		}
+		sum := sub.kern.Summarize(now, liveBy[c])
+		sum.Epoch = sub.epoch
+		sum.Req = sub.req
+		rt := s.root
+		if rt == nil || rt.crashed {
+			// Connection refused — the real wire layer fails the send
+			// synchronously when the root endpoint is gone.
+			sub.missed++
+		} else {
+			sub.pendingAck = true
+			lat := s.net.Latency(c, rt.host)
+			s.k.After(lat, func() {
+				if s.done || rt != s.root || rt.crashed {
+					return // the root died (or was replaced) in flight
+				}
+				rt.kern.Ingest(sum)
+				// Ack even a stale-epoch summary: the ack's epoch is how
+				// a restarted sub catches back up.
+				epoch, req := rt.kern.ResetEpoch(), rt.kern.ReqState()
+				s.k.After(lat, func() {
+					if s.done || sub.crashed || rt != s.root {
+						return
+					}
+					sub.pendingAck = false
+					sub.missed = 0
+					sub.req = req
+					s.syncSubEpoch(sub, epoch)
+				})
+			})
+		}
+		if sub.missed >= s.p.FailoverAfter {
+			anyStarved = true
+		}
+	}
+	if anyStarved && (s.root == nil || s.root.crashed) {
+		s.electRoot(liveBy)
+	}
+}
+
+// syncSubEpoch adopts a newer root epoch at a sub: the root acted, so
+// the sub's pending reports describe the pre-action world and are
+// dropped — the distributed half of the flat kernel's post-action
+// reset.
+func (s *Sim) syncSubEpoch(sub *desSub, epoch uint64) {
+	if epoch > sub.epoch {
+		sub.epoch = epoch
+		sub.kern.Reset()
+	}
+}
+
+// electRoot deterministically promotes the sub-coordinator of the
+// lowest live cluster to root. The successor seeds its kernel from the
+// electing sub's cached requirements; the other subs' caches merge in
+// with their next summaries (blacklists are monotone, so the union
+// can only be complete or short-lived-incomplete, never wrong).
+func (s *Sim) electRoot(liveBy map[core.ClusterID][]core.NodeID) {
+	var winner *desSub
+	for _, c := range s.subOrder() {
+		sub := s.subs[c]
+		if sub.crashed || len(liveBy[c]) == 0 {
+			continue
+		}
+		winner = sub
+		break
+	}
+	if winner == nil {
+		return // nobody left to elect; a later join re-triggers
+	}
+	rk, err := coord.NewRoot(s.rootConfig(), &simActuator{s})
+	if err != nil {
+		panic(err) // config was validated at startup
+	}
+	rk.AdoptReqState(winner.req)
+	rk.StartEpoch(winner.epoch)
+	s.root = &desRoot{host: winner.cluster, kern: rk}
+	s.coordClst = winner.cluster
+	s.syncProtected()
+	for _, c := range s.subOrder() {
+		sub := s.subs[c]
+		sub.missed = 0
+		sub.pendingAck = false
+	}
+	s.annotate(fmt.Sprintf("root coordinator failover: cluster %s elected", winner.cluster))
+}
+
+// rootConfig is the kernel configuration both the initial root and any
+// elected successor run.
+func (s *Sim) rootConfig() coord.Config {
+	return coord.Config{
+		Engine:              s.p.Adapt,
+		MonitorOnly:         s.p.MonitorOnly,
+		DisableBlacklist:    s.p.DisableBlacklist,
+		Opportunistic:       s.p.Opportunistic,
+		OpportunisticFactor: s.p.OpportunisticFactor,
+	}
+}
+
+// rootTick is the sharded run's coordinator tick: consume the latest
+// summaries, decide, and push the post-action reset down the tree.
+// While the root is crashed the timer keeps firing but nothing
+// happens — adaptation is paused until the subs elect a successor.
+func (s *Sim) rootTick() {
+	if s.done {
+		return
+	}
+	defer func() {
+		if !s.done {
+			s.k.After(s.p.Mon.Period, s.rootTick)
+		}
+	}()
+	rt := s.root
+	if rt == nil || rt.crashed {
+		return
+	}
+	liveBy := make(map[core.ClusterID]int)
+	for _, n := range s.order {
+		liveBy[n.cluster]++
+	}
+	liveClusters := make([]core.ClusterID, 0, len(liveBy))
+	for c := range liveBy {
+		liveClusters = append(liveClusters, c)
+	}
+	sort.Slice(liveClusters, func(i, j int) bool { return liveClusters[i] < liveClusters[j] })
+
+	before := rt.kern.ResetEpoch()
+	rec := rt.kern.Tick(float64(s.k.Now()), liveClusters, len(s.order))
+	s.res.Periods = append(s.res.Periods, rec)
+	if s.p.Observe != nil {
+		s.p.Observe(rec, rt.kern.Requirements(), liveBy)
+	}
+	if after := rt.kern.ResetEpoch(); after != before {
+		// The root acted: push the reset (and the fresh requirements
+		// snapshot) to every sub so pre-action reports die everywhere.
+		req := rt.kern.ReqState()
+		for _, c := range s.subOrder() {
+			sub := s.subs[c]
+			lat := s.net.Latency(rt.host, c)
+			s.k.After(lat, func() {
+				if s.done || sub.crashed || rt != s.root {
+					return
+				}
+				sub.req = req
+				s.syncSubEpoch(sub, after)
+			})
+		}
+	}
+}
+
+// crashRoot kills the root coordinator process. The host cluster's
+// nodes keep computing — only coordination stops until failover.
+func (s *Sim) crashRoot() {
+	if s.root == nil || s.root.crashed {
+		return
+	}
+	s.root.crashed = true
+}
+
+// crashSub kills one cluster's sub-coordinator; reports from that
+// cluster are lost until the sub restarts after CrashDetect with empty
+// state (it re-learns the epoch from the first ack).
+func (s *Sim) crashSub(c core.ClusterID) {
+	sub, ok := s.subs[c]
+	if !ok || sub.crashed {
+		return
+	}
+	sub.crashed = true
+	s.k.After(s.p.CrashDetect, func() {
+		if s.done {
+			return
+		}
+		var w core.BadnessWeights
+		if s.p.Adapt != nil {
+			w = s.p.Adapt.Weights
+		} else {
+			w = core.DefaultConfig().Weights
+		}
+		sub.kern = coord.NewSubKernel(c, s.p.ProposalCap, w)
+		sub.crashed = false
+		sub.missed = 0
+		sub.pendingAck = false
+		sub.epoch = 0
+		sub.req = coord.ReqState{}
+	})
+}

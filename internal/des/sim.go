@@ -83,12 +83,25 @@ type Sim struct {
 	net  *netmodel.Net
 	pool *sched.Pool
 	// kern is the shared adaptation kernel; the Sim is only its driver
-	// (it feeds reports in and applies effects via simActuator).
+	// (it feeds reports in and applies effects via simActuator). nil in
+	// sharded mode, where subs and root carry the coordination state.
 	kern *coord.Kernel
+	subs map[core.ClusterID]*desSub
+	root *desRoot
 
 	nodes map[core.NodeID]*simNode
 	order []*simNode // live nodes in deterministic order
 	used  map[core.ClusterID]bool
+
+	// stealMembers/stealView are the cached membership snapshot handed
+	// to the steal engines (rebuilt lazily on churn): at 10k nodes,
+	// building a fresh slice per steal attempt dominated the
+	// simulator's time, and even a shared flat slice still cost an
+	// O(nodes) partition inside every Engine.Next call — the
+	// pre-indexed View makes each victim draw O(log cluster-size).
+	stealMembers []steal.Member
+	stealView    *steal.View
+	membersDirty bool
 
 	master      *simNode
 	coordClst   core.ClusterID
@@ -126,6 +139,7 @@ func runReturningSim(p Params) (*Result, *Sim, error) {
 		nodes:       make(map[core.NodeID]*simNode),
 		used:        make(map[core.ClusterID]bool),
 		clusterLoad: make(map[core.ClusterID]float64),
+		stealView:   steal.NewView(),
 		res:         &Result{},
 	}
 	pool, err := sched.NewPool(p.Topo)
@@ -133,17 +147,20 @@ func runReturningSim(p Params) (*Result, *Sim, error) {
 		return nil, nil, err
 	}
 	s.pool = pool
-	kern, err := coord.New(coord.Config{
-		Engine:              p.Adapt,
-		MonitorOnly:         p.MonitorOnly,
-		DisableBlacklist:    p.DisableBlacklist,
-		Opportunistic:       p.Opportunistic,
-		OpportunisticFactor: p.OpportunisticFactor,
-	}, &simActuator{s})
-	if err != nil {
-		return nil, nil, err
+	if p.Sharded {
+		rk, err := coord.NewRoot(s.rootConfig(), &simActuator{s})
+		if err != nil {
+			return nil, nil, err
+		}
+		s.subs = make(map[core.ClusterID]*desSub)
+		s.root = &desRoot{kern: rk}
+	} else {
+		kern, err := coord.New(s.rootConfig(), &simActuator{s})
+		if err != nil {
+			return nil, nil, err
+		}
+		s.kern = kern
 	}
-	s.kern = kern
 
 	// Initial allocation: the user's hand-picked starting set.
 	for _, a := range p.Initial {
@@ -157,13 +174,24 @@ func runReturningSim(p Params) (*Result, *Sim, error) {
 	}
 	s.setMaster(s.order[0])
 	s.coordClst = s.master.cluster
+	if s.root != nil {
+		s.root.host = s.coordClst
+	}
 
 	for _, inj := range p.Events {
 		inj := inj
 		s.k.At(vtime.Time(inj.At), func() { s.inject(inj) })
 	}
 	if p.Mon.Enabled && (p.Adapt != nil || p.MonitorOnly) {
-		s.k.At(vtime.Time(p.Mon.Period+2), s.coordinatorTick)
+		if s.sharded() {
+			// The subs summarize one second before the root consumes, so
+			// a summary (plus its ~ms of latency) reaches the root within
+			// the same period it was built in.
+			s.k.At(vtime.Time(p.Mon.Period+1), s.subsTick)
+			s.k.At(vtime.Time(p.Mon.Period+2), s.rootTick)
+		} else {
+			s.k.At(vtime.Time(p.Mon.Period+2), s.coordinatorTick)
+		}
 	}
 	s.k.At(vtime.Time(p.MaxTime), func() {
 		if !s.done {
@@ -182,8 +210,8 @@ func runReturningSim(p Params) (*Result, *Sim, error) {
 	}
 	s.res.FinalNodes = len(s.order)
 	s.res.Completed = !s.aborted && s.iter >= s.p.Spec.Iterations
-	s.res.MinBandwidth = s.kern.Requirements().MinBandwidth()
-	s.res.BlacklistedClusters = s.kern.Requirements().BlacklistedClusters()
+	s.res.MinBandwidth = s.requirements().MinBandwidth()
+	s.res.BlacklistedClusters = s.requirements().BlacklistedClusters()
 	for c := range s.used {
 		s.res.UsedClusters = append(s.res.UsedClusters, c)
 	}
@@ -242,6 +270,10 @@ func (s *Sim) addNode(ref sched.NodeRef, immediate bool) {
 		n.acc = metrics.NewAccumulator(n.id, n.cluster, float64(s.k.Now()))
 		s.nodes[n.id] = n
 		s.order = append(s.order, n)
+		s.membersDirty = true
+		if s.sharded() {
+			s.subFor(n.cluster)
+		}
 		s.used[n.cluster] = true
 		if len(s.order) > s.res.PeakNodes {
 			s.res.PeakNodes = len(s.order)
@@ -319,7 +351,8 @@ func (s *Sim) removeFromOrder(n *simNode) {
 		}
 	}
 	delete(s.nodes, n.id)
-	s.kern.Forget(n.id)
+	s.membersDirty = true
+	s.forgetNode(n)
 }
 
 func (s *Sim) cancelNodeTimers(n *simNode) {
@@ -350,6 +383,10 @@ func (s *Sim) requeue(t simTask) {
 // system, the process the user started), so it must never be evicted.
 func (s *Sim) setMaster(n *simNode) {
 	s.master = n
+	if s.kern == nil {
+		s.syncProtected()
+		return
+	}
 	if n != nil {
 		s.kern.SetProtected(n.id)
 	} else {
@@ -667,6 +704,20 @@ func (s *Sim) inject(inj Injection) {
 		}
 		if label == "" {
 			label = fmt.Sprintf("%d nodes of %s crashed", len(victims), inj.Cluster)
+		}
+	case InjCrashRoot:
+		if s.sharded() {
+			s.crashRoot()
+		}
+		if label == "" {
+			label = "root coordinator crashed"
+		}
+	case InjCrashSub:
+		if s.sharded() {
+			s.crashSub(inj.Cluster)
+		}
+		if label == "" {
+			label = fmt.Sprintf("sub-coordinator of %s crashed", inj.Cluster)
 		}
 	}
 	s.annotate(label)

@@ -20,6 +20,7 @@ package steal
 import (
 	"hash/fnv"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -117,6 +118,12 @@ type Engine struct {
 	// scratch candidate buffers reused across Next calls (guarded by
 	// mu), so victim selection allocates nothing in steady state.
 	locals, remotes []Member
+
+	// cached position of self inside the last View seen, so NextView
+	// re-scans the home group only when membership actually changed.
+	viewGen   uint64
+	view      *View
+	selfLocal int // index of self within its cluster group, -1 if absent
 }
 
 // New builds an engine for one node. seed is the node's stream (use
@@ -192,6 +199,173 @@ func (e *Engine) Next(now float64, members []Member) Directive {
 	}
 	if !e.syncOut && len(locals) > 0 {
 		d.Sync = locals[e.rng.Intn(len(locals))]
+		d.HasSync = true
+		e.syncOut = true
+		e.stats.SyncLocal++
+		obsSyncLocal.Inc()
+	}
+	return d
+}
+
+// View is a membership snapshot pre-indexed by cluster, shared by
+// every engine in a simulation. Next re-partitions the whole snapshot
+// on each call, which is fine for a live worker with one engine but
+// O(nodes) per steal attempt — the dominant simulator cost at 10k
+// nodes. A View is built once per membership change; NextView then
+// draws victims in O(log cluster-size) without touching the other
+// 9,900 members. The two paths are draw-for-draw identical: same
+// rng.Intn ranges, same candidate ordering, so one seed produces one
+// victim sequence regardless of which entry point the runtime uses.
+type View struct {
+	gen     uint64
+	members []Member
+	groups  map[core.ClusterID]*viewGroup
+}
+
+// viewGroup is one cluster's slice of the snapshot: its members in
+// snapshot order plus their positions in the full snapshot, ascending
+// (pos drives the order-preserving remote remap).
+type viewGroup struct {
+	gen     uint64 // stamp of the Rebuild that last filled this group
+	members []Member
+	pos     []int
+}
+
+// NewView allocates an empty view; call Rebuild to index a snapshot.
+func NewView() *View {
+	return &View{groups: make(map[core.ClusterID]*viewGroup)}
+}
+
+// Rebuild re-indexes the view over a fresh snapshot, reusing prior
+// allocations. Groups of clusters absent from the new snapshot stay in
+// the map but carry a stale gen stamp, so lookups treat them as empty.
+func (v *View) Rebuild(members []Member) {
+	v.gen++
+	v.members = append(v.members[:0], members...)
+	for i, m := range v.members {
+		g := v.groups[m.Cluster]
+		if g == nil {
+			g = &viewGroup{}
+			v.groups[m.Cluster] = g
+		}
+		if g.gen != v.gen {
+			g.gen = v.gen
+			g.members = g.members[:0]
+			g.pos = g.pos[:0]
+		}
+		g.members = append(g.members, m)
+		g.pos = append(g.pos, i)
+	}
+}
+
+// Len reports the snapshot size.
+func (v *View) Len() int { return len(v.members) }
+
+// group returns the cluster's live group, nil if the cluster has no
+// members in the current snapshot.
+func (v *View) group(c core.ClusterID) *viewGroup {
+	g := v.groups[c]
+	if g == nil || g.gen != v.gen {
+		return nil
+	}
+	return g
+}
+
+// remoteAt returns the j-th member of the snapshot with the cluster's
+// own block filtered out, in snapshot order — the element Next's
+// remotes[j] would hold. pos is sorted ascending, so the filtered
+// index maps back to a snapshot index by counting how many excluded
+// positions precede it; pos[k]-k is non-decreasing, which makes the
+// predicate binary-searchable.
+func (v *View) remoteAt(g *viewGroup, j int) Member {
+	if g == nil {
+		return v.members[j]
+	}
+	k := sort.Search(len(g.pos), func(k int) bool { return g.pos[k] > j+k })
+	return v.members[j+k]
+}
+
+// refreshView re-locates self inside the view's home group. Called
+// with e.mu held; O(cluster size), and only after a Rebuild.
+func (e *Engine) refreshView(v *View) {
+	e.view, e.viewGen = v, v.gen
+	e.selfLocal = -1
+	if g := v.group(e.cluster); g != nil {
+		for i, m := range g.members {
+			if m.ID == e.self {
+				e.selfLocal = i
+				break
+			}
+		}
+	}
+}
+
+// NextView is Next against a pre-indexed shared snapshot: identical
+// policy, slots, stats and RNG consumption, but victim selection costs
+// O(log cluster-size) instead of a full-snapshot partition. Runtimes
+// with many engines over one membership (the simulator) use this;
+// runtimes with one engine per process can keep handing Next a slice.
+func (e *Engine) NextView(now float64, v *View) Directive {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.view != v || e.viewGen != v.gen {
+		e.refreshView(v)
+	}
+	g := v.group(e.cluster)
+	nLocal := 0
+	if g != nil {
+		nLocal = len(g.members)
+	}
+	var d Directive
+	if e.policy == Random {
+		if e.syncOut {
+			return d
+		}
+		// all = snapshot minus self, in snapshot order.
+		n := len(v.members)
+		if e.selfLocal >= 0 {
+			n--
+		}
+		if n == 0 {
+			return d
+		}
+		i := e.rng.Intn(n)
+		if e.selfLocal >= 0 && i >= g.pos[e.selfLocal] {
+			i++
+		}
+		vict := v.members[i]
+		e.syncOut = true
+		d.Sync = vict
+		d.HasSync = true
+		d.SyncWide = vict.Cluster != e.cluster
+		if d.SyncWide {
+			e.stats.SyncWide++
+			obsSyncWide.Inc()
+		} else {
+			e.stats.SyncLocal++
+			obsSyncLocal.Inc()
+		}
+		return d
+	}
+	// CRS: async slot first, then sync — the same draw order as Next.
+	if nRemote := len(v.members) - nLocal; !e.asyncOut && nRemote > 0 {
+		d.Async = v.remoteAt(g, e.rng.Intn(nRemote))
+		d.HasAsync = true
+		e.asyncOut = true
+		e.asyncSince = now
+		e.stats.Async++
+		obsAsync.Inc()
+	}
+	nCand := nLocal
+	if e.selfLocal >= 0 {
+		nCand--
+	}
+	if !e.syncOut && nCand > 0 {
+		i := e.rng.Intn(nCand)
+		if e.selfLocal >= 0 && i >= e.selfLocal {
+			i++
+		}
+		d.Sync = g.members[i]
 		d.HasSync = true
 		e.syncOut = true
 		e.stats.SyncLocal++

@@ -1,7 +1,9 @@
 package steal
 
 import (
+	"fmt"
 	"hash/fnv"
+	"math/rand"
 	"testing"
 
 	"repro/internal/core"
@@ -234,6 +236,61 @@ func TestCrossRuntimeVictimParity(t *testing.T) {
 	for i := range desSeq {
 		if desSeq[i] != satinSeq[i] {
 			t.Fatalf("victim %d differs: %v vs %v", i, desSeq[i], satinSeq[i])
+		}
+	}
+}
+
+// TestViewMatchesSliceSelection pins NextView to Next draw-for-draw:
+// over randomized membership/completion scripts, two engines with one
+// seed — one fed the raw slice, one fed the pre-indexed View — must
+// emit the identical directive sequence. This is what lets the
+// simulator switch to the indexed path without perturbing a single
+// seeded victim stream (and with it every recorded decision sequence).
+func TestViewMatchesSliceSelection(t *testing.T) {
+	for _, policy := range []Policy{CRS, Random} {
+		for seed := int64(1); seed <= 20; seed++ {
+			script := rand.New(rand.NewSource(seed * 977))
+			self, home := core.NodeID("c1/01"), core.ClusterID("c1")
+			a := New(policy, self, home, SeedFor(seed, self))
+			b := New(policy, self, home, SeedFor(seed, self))
+			view := NewView()
+			for step := 0; step < 120; step++ {
+				// Random membership: 0–3 clusters, 0–5 nodes each, with
+				// self present in roughly half the snapshots; shuffled so
+				// clusters interleave like join-order churn does.
+				var ms []Member
+				for c := 0; c < script.Intn(4); c++ {
+					cl := core.ClusterID(fmt.Sprintf("c%d", c))
+					for n := 0; n < script.Intn(6); n++ {
+						id := core.NodeID(fmt.Sprintf("%s/%02d", cl, n))
+						if id == self && script.Intn(2) == 0 {
+							continue
+						}
+						ms = append(ms, Member{ID: id, Cluster: cl})
+					}
+				}
+				script.Shuffle(len(ms), func(i, j int) { ms[i], ms[j] = ms[j], ms[i] })
+				view.Rebuild(ms)
+				da := a.Next(float64(step), ms)
+				db := b.NextView(float64(step), view)
+				if da != db {
+					t.Fatalf("policy %v seed %d step %d: slice %+v vs view %+v (members %v)",
+						policy, seed, step, da, db, ms)
+				}
+				if da.HasSync && script.Intn(3) > 0 {
+					got := script.Intn(2) == 0
+					a.SyncDone(got)
+					b.SyncDone(got)
+				}
+				if da.HasAsync && script.Intn(3) > 0 {
+					got := script.Intn(2) == 0
+					a.AsyncDone(got)
+					b.AsyncDone(got)
+				}
+				if a.Stats() != b.Stats() {
+					t.Fatalf("policy %v seed %d step %d: stats diverged", policy, seed, step)
+				}
+			}
 		}
 	}
 }

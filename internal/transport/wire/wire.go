@@ -341,7 +341,19 @@ func Send[T any](c *Conn, to string, v T) error {
 	ss.pairBytes.Add(uint64(len(p)))
 	// Dispatch under the session lock: the fabric's per-pair FIFO must
 	// see frames in sequence order.
-	return ss.dispatchLocked(c, kind, p)
+	if err := ss.dispatchLocked(c, kind, p); err != nil {
+		// The frame never left (endpoint gone, fabric refused) but its
+		// sequence number — and, for gob kinds, encoder state the
+		// receiver will never see — is already spent. Without a restart
+		// the next successful send would open a permanent gap and be
+		// discarded as stale after Send reported success. A fresh epoch
+		// makes the next send self-contained; the receiver adopts it on
+		// arrival.
+		ss.restartLocked()
+		obs.Default.Counter("wire/send_err/" + kind).Inc()
+		return err
+	}
+	return nil
 }
 
 // ---- send sessions ----

@@ -476,3 +476,48 @@ func TestEncodeErrorRestartsSession(t *testing.T) {
 		t.Fatal("message after encode error never arrived: stream corrupted")
 	}
 }
+
+// A send that fails at dispatch (destination endpoint not yet up)
+// burns a sequence number and, for gob kinds, encoder state the
+// receiver will never see. The session must restart so the next
+// successful Send is self-contained — not silently discarded as a
+// stale frame behind a permanent gap.
+func TestFailedSendRestartsSession(t *testing.T) {
+	f := transport.NewInProc(nil)
+	defer f.Close()
+	epA, _ := f.Endpoint("a")
+	a := New(epA)
+
+	// "b" does not exist yet: both sends must fail visibly.
+	for i := 0; i < 2; i++ {
+		if err := Send(a, "b", pingMsg{N: i}); err == nil {
+			t.Fatal("send to a missing endpoint reported success")
+		}
+	}
+
+	epB, _ := f.Endpoint("b")
+	b := New(epB)
+	var mu sync.Mutex
+	var got []pingMsg
+	Handle(b, func(m pingMsg, _ Meta) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	})
+
+	// The first send after the outage must be delivered — immediately,
+	// with no gap-timer or reset round trip in between.
+	if err := Send(a, "b", pingMsg{N: 42, Note: "post-outage"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "post-outage message", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 1
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0].N != 42 || got[0].Note != "post-outage" {
+		t.Fatalf("delivered %+v, want the post-outage frame", got[0])
+	}
+}

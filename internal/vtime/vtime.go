@@ -20,12 +20,20 @@ type Timer struct {
 	seq       uint64
 	fn        func()
 	cancelled bool
-	index     int // heap index, -1 once popped
+	index     int  // heap index, -1 once popped
+	owner     *Sim // for indexed removal on Cancel
 }
 
-// Cancel prevents the event from firing. Safe to call multiple times
-// and after the event fired (then it is a no-op).
-func (t *Timer) Cancel() { t.cancelled = true }
+// Cancel prevents the event from firing and removes it from the queue
+// immediately (O(log n)), so cancelled events don't pile up in
+// long-running simulations with heavy timer churn. Safe to call
+// multiple times and after the event fired (then it is a no-op).
+func (t *Timer) Cancel() {
+	t.cancelled = true
+	if t.owner != nil && t.index >= 0 {
+		heap.Remove(&t.owner.events, t.index)
+	}
+}
 
 // Cancelled reports whether Cancel was called.
 func (t *Timer) Cancelled() bool { return t.cancelled }
@@ -91,7 +99,7 @@ func (s *Sim) At(t Time, fn func()) *Timer {
 		panic(fmt.Sprintf("vtime: scheduling event at %v before now %v", t, s.now))
 	}
 	s.seq++
-	ev := &Timer{at: t, seq: s.seq, fn: fn}
+	ev := &Timer{at: t, seq: s.seq, fn: fn, owner: s}
 	heap.Push(&s.events, ev)
 	return ev
 }
@@ -101,16 +109,9 @@ func (s *Sim) After(d float64, fn func()) *Timer {
 	return s.At(s.now+Time(d), fn)
 }
 
-// Pending returns the number of live (non-cancelled) scheduled events.
-func (s *Sim) Pending() int {
-	n := 0
-	for _, e := range s.events {
-		if !e.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of live scheduled events. Cancelled
+// events leave the queue at Cancel time, so this is O(1).
+func (s *Sim) Pending() int { return len(s.events) }
 
 // Step executes the next event, advancing the clock. It returns false
 // when the queue holds no runnable event.
