@@ -31,10 +31,10 @@ gridsim:
 # that proves every benchmark still compiles and executes; for timing
 # numbers use -benchtime/-count as in EXPERIMENTS.md), followed by the
 # JSON baseline harness CI archives per PR (cmd/bench). Refreshes the
-# committed BENCH_7.json.
+# committed BENCH_8.json.
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -count=1 ./internal/deque ./internal/steal ./satin ./internal/transport/wire ./internal/coord
-	$(GO) run ./cmd/bench -out BENCH_7.json
+	$(GO) run ./cmd/bench -out BENCH_8.json
 
 # Regression gate: run the harness fresh and compare against the
 # committed baseline, failing on >35% ns/op (or alloc) regression on
@@ -43,7 +43,7 @@ bench:
 # runner, so the gate is sized to catch real regressions (2x), not
 # scheduler noise.
 bench-check:
-	$(GO) run ./cmd/bench -out BENCH_7.ci.json -against BENCH_7.json -tolerance 0.35
+	$(GO) run ./cmd/bench -out BENCH_8.ci.json -against BENCH_8.json -tolerance 0.35
 
 # Short fuzz smoke over the adversarial-input decoders (`go test -fuzz`
 # accepts one target per invocation, hence one line each): the wirefmt
@@ -60,10 +60,12 @@ fuzz-smoke:
 satind-smoke:
 	./scripts/satind_smoke.sh
 
-# Chaos harness: the full seeded scenario corpus (24 randomized
-# DES scenarios), the fault-transport unit tests, and the live-runtime
-# chaos tests — all under the race detector. A failure prints its seed;
-# replay one scenario with
+# Chaos harness: the full seeded scenario corpora (24 randomized batch
+# DES scenarios, 24 sharded-tree scenarios with coordinator kills, and
+# 24 streaming scenarios checked against the latency-SLO invariants),
+# the fault-transport unit tests, and the live-runtime chaos tests —
+# all under the race detector. A failure prints its seed; replay one
+# scenario with
 #   go test ./internal/chaos -run 'ChaosCorpusDES/seed=N'
 chaos:
 	$(GO) test -race -run Chaos ./...

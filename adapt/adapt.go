@@ -48,11 +48,21 @@ type (
 	Decision = core.Decision
 	// Requirements is the learned blacklist + minimum bandwidth.
 	Requirements = core.Requirements
+	// StreamObs is one monitoring period's streaming observation.
+	StreamObs = core.StreamObs
+	// StreamSLOConfig tunes the streaming latency objective.
+	StreamSLOConfig = core.StreamSLOConfig
 )
 
 // DefaultThresholds returns the paper's configuration: E_min 0.30,
 // E_max 0.50, α/β/γ badness weights, 25% cluster-drop threshold.
 func DefaultThresholds() Thresholds { return core.DefaultConfig() }
+
+// DefaultStreamSLO returns the streaming objective's defaults for a
+// latency target.
+func DefaultStreamSLO(targetLatency float64) StreamSLOConfig {
+	return core.DefaultStreamSLO(targetLatency)
+}
 
 // WeightedAverageEfficiency re-exports the paper's metric.
 func WeightedAverageEfficiency(stats []NodeStats) float64 {
@@ -96,6 +106,12 @@ type Config struct {
 	// many of its worst nodes — without blacklisting them — at the next
 	// tick. Leave nil for single-job deployments that own their pool.
 	Pressure func() int
+	// StreamSLO switches the coordinator to the streaming latency
+	// objective (core.StreamSLO) instead of the WAE band: the job's
+	// driver feeds period observations through ObserveStream and the
+	// kernel grows or shrinks to keep mean latency at the target.
+	// Thresholds then only contribute their badness weights.
+	StreamSLO *core.StreamSLOConfig
 	// Sharded runs the hierarchical tree's root (ISSUE 8): the
 	// coordinator consumes ClusterSummary frames from sub-kernel-mode
 	// SubCoordinators (StartSubKernel) instead of raw reports, so its
@@ -167,6 +183,17 @@ func Start(f transport.Fabric, prov Provisioner, cfg Config) (*Coordinator, erro
 		MonitorOnly: cfg.MonitorOnly,
 		Pressure:    cfg.Pressure,
 	}
+	if cfg.StreamSLO != nil {
+		// A fresh objective per coordinator: StreamSLO carries hysteresis
+		// state that must never be shared between kernels.
+		obj, err := core.NewStreamSLO(*cfg.StreamSLO)
+		if err != nil {
+			reg.Close()
+			c.wc.Close()
+			return nil, err
+		}
+		kcfg.Objective = obj
+	}
 	if cfg.Sharded {
 		rootk, err := coord.NewRoot(kcfg, runtimeActuator{c})
 		if err != nil {
@@ -235,6 +262,16 @@ func (c *Coordinator) Requirements() *Requirements {
 		return c.rootk.Requirements()
 	}
 	return c.kern.Requirements()
+}
+
+// ObserveStream merges a streaming-workload observation into the
+// coordinator's current monitoring period (the job driver calls it once
+// per completed window). Flat mode only: the sharded root receives its
+// stream partials inside ClusterSummary frames instead.
+func (c *Coordinator) ObserveStream(o core.StreamObs) {
+	if c.kern != nil {
+		c.kern.ObserveStream(o)
+	}
 }
 
 func (c *Coordinator) onReport(rep metrics.Report, _ wire.Meta) {

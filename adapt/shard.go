@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/coord"
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/transport"
@@ -138,6 +139,18 @@ func StartSubKernel(f transport.Fabric, cluster ClusterID, cfg SubConfig) (*SubC
 	sc.wg.Add(1)
 	go sc.loop()
 	return sc, nil
+}
+
+// ObserveStream merges this cluster's share of a streaming-workload
+// observation into the sub-kernel's current period; the next summary
+// ships it to the root as ClusterSummary stream aggregates, where the
+// partials of all clusters sum into the global observation the root's
+// StreamSLO objective judges. No-op in relay mode, which forwards raw
+// reports and has no per-period state.
+func (sc *SubCoordinator) ObserveStream(o core.StreamObs) {
+	if sc.shard != nil {
+		sc.shard.kern.ObserveStream(o)
+	}
 }
 
 // Promoted returns the root coordinator this sub elected itself into,

@@ -9,6 +9,7 @@ package adapt_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -236,6 +237,105 @@ func TestChaosShardedRootFailover(t *testing.T) {
 
 	if master.gone() {
 		t.Error("protected master was evicted during failover")
+	}
+}
+
+// TestShardedStreamSLOGrowsOnViolation drives ISSUE 9's streaming
+// objective through the live sharded tree: per-cluster stream partials
+// fed to sub-kernel-mode SubCoordinators must travel inside
+// ClusterSummary frames, sum at the root, and push its StreamSLO
+// objective into a proportional grow decision — the sharded analogue of
+// the flat coordinator path the job layer exercises.
+func TestShardedStreamSLOGrowsOnViolation(t *testing.T) {
+	fab := transport.NewInProc(nil)
+	defer fab.Close()
+	if _, err := registry.NewServer(fab, fastReg()); err != nil {
+		t.Fatal(err)
+	}
+
+	var workers []*scriptWorker
+	for _, id := range []core.NodeID{"ca/00", "ca/01"} {
+		workers = append(workers, startScriptWorker(t, fab, id, "ca"))
+	}
+	for _, id := range []core.NodeID{"cb/00", "cb/01"} {
+		workers = append(workers, startScriptWorker(t, fab, id, "cb"))
+	}
+
+	const period = 100 * time.Millisecond
+	slo := adapt.DefaultStreamSLO(1) // 1s latency target
+	prov := &scriptProvisioner{}
+	root, err := adapt.Start(fab, prov, adapt.Config{
+		Sharded:   true,
+		Period:    period,
+		Registry:  fastReg(),
+		StreamSLO: &slo,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer root.Stop()
+
+	subs := map[adapt.ClusterID]*adapt.SubCoordinator{}
+	for _, cl := range []adapt.ClusterID{"ca", "cb"} {
+		sub, err := adapt.StartSubKernel(fab, cl, adapt.SubConfig{
+			Period: period, Prov: prov, Registry: fastReg(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[cl] = sub
+		defer sub.Stop()
+	}
+
+	// Busy, healthy node statistics — under the streaming objective the
+	// efficiency band must not matter; only the latency does.
+	stop := make(chan struct{})
+	defer close(stop)
+	feedSubReports(t, fab, stop, 0, func(w *scriptWorker, start, end float64) metrics.Report {
+		dur := end - start
+		return metrics.Report{Node: w.id, Cluster: w.cluster, Start: start, End: end,
+			Speed: 1, BusySec: 0.9 * dur, IdleSec: 0.1 * dur}
+	}, workers)
+	// Each cluster completes items at a 4s mean latency — four times the
+	// target, an unambiguous SLO violation every period.
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(30 * time.Millisecond):
+			}
+			subs["ca"].ObserveStream(adapt.StreamObs{Arrived: 5, Completed: 5, LatencySum: 20})
+			subs["cb"].ObserveStream(adapt.StreamObs{Arrived: 5, Completed: 5, LatencySum: 20, Backlog: 2})
+		}
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		grew := false
+		for _, h := range root.History() {
+			if h.Action == "add" && h.Stats > 0 {
+				if h.WAE >= 1 {
+					t.Fatalf("grow decision with healthy stream: health %.3f (%s)", h.WAE, h.Detail)
+				}
+				if !strings.Contains(h.Detail, "stream health") {
+					t.Fatalf("grow reason is not the streaming objective's: %q", h.Detail)
+				}
+				grew = true
+				break
+			}
+		}
+		if grew {
+			break
+		}
+		if time.Now().After(deadline) {
+			for _, h := range root.History() {
+				t.Logf("health=%.3f stats=%d action=%q (+%d -%d) %s",
+					h.WAE, h.Stats, h.Action, h.Added, h.Removed, h.Detail)
+			}
+			t.Fatal("sharded root never grew on a sustained stream SLO violation")
+		}
+		time.Sleep(30 * time.Millisecond)
 	}
 }
 

@@ -18,12 +18,15 @@
 //     live satin node
 //   - fib_e2e: fib(20) across 2 clusters x 2 nodes — steals, WAN
 //     emulation and accounting included
+//   - stream_e2e: one 256-item streaming window (the ISSUE 9 workload
+//     class's unit of execution) spread over 2 clusters x 2 nodes —
+//     the per-window cost of the open-loop pipeline driver
 //
 // With -against, the fresh results are compared to a committed
 // baseline document and any shared benchmark that regressed beyond the
 // tolerance fails the run — the CI regression gate.
 //
-// Usage: bench [-out BENCH_7.json] [-against BENCH_7.json] [-skip-e2e]
+// Usage: bench [-out BENCH_8.json] [-against BENCH_8.json] [-skip-e2e]
 package main
 
 import (
@@ -137,7 +140,7 @@ func fastReg() registry.Options {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_7.json", "output JSON path (- for stdout)")
+	out := flag.String("out", "BENCH_8.json", "output JSON path (- for stdout)")
 	against := flag.String("against", "", "baseline JSON document; fail on regression beyond tolerance")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression vs -against")
 	skipE2E := flag.Bool("skip-e2e", false, "skip the multi-node end-to-end benchmarks")
@@ -171,6 +174,7 @@ func main() {
 	if !*skipE2E {
 		run("spawn_sync", benchSpawnSync)
 		run("fib_e2e", benchFibE2E)
+		run("stream_e2e", benchStreamE2E)
 	}
 
 	enc, err := json.MarshalIndent(doc, "", "  ")
@@ -200,7 +204,7 @@ func main() {
 // e2eNames are the live multi-goroutine benchmarks: their wall time on
 // a shared CI runner is noisy, so they get triple the tolerance of the
 // single-threaded microbenchmarks.
-var e2eNames = map[string]bool{"spawn_sync": true, "fib_e2e": true}
+var e2eNames = map[string]bool{"spawn_sync": true, "fib_e2e": true, "stream_e2e": true}
 
 // compare fails when any benchmark shared between doc and the baseline
 // regressed in ns/op beyond the tolerance, or allocated meaningfully
@@ -460,6 +464,48 @@ func benchFibE2E(b *testing.B) {
 		}
 		if v.(int) != want {
 			b.Fatalf("fib(20) = %v, want %d", v, want)
+		}
+	}
+}
+
+// benchStreamE2E: one op = one 256-item streaming window across 2
+// clusters x 2 nodes — the ISSUE 9 workload class's unit of execution
+// on the real runtime. WorkPerItem is zero so the measured cost is the
+// window machinery (divide, steal, sync, latency accounting), not
+// sleeps.
+func benchStreamE2E(b *testing.B) {
+	g, err := satin.NewGrid(satin.GridConfig{
+		Clusters: []satin.ClusterSpec{
+			{Name: "fs0", Nodes: 2},
+			{Name: "fs1", Nodes: 2},
+		},
+		Registry: fastReg(),
+		Seed:     42,
+		Node:     satin.NodeConfig{Registry: fastReg()},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	for _, c := range []satin.ClusterID{"fs0", "fs1"} {
+		if _, err := g.StartNodes(c, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	n := g.Node("fs0/00")
+	window := apps.StreamWindow{Items: 256, Grain: 8}
+	if _, err := n.Run(apps.StreamWindow{Items: 16, Grain: 8}); err != nil { // warm up
+		b.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := n.Run(window)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.(int) != window.Items {
+			b.Fatalf("window processed %v of %d items", v, window.Items)
 		}
 	}
 }

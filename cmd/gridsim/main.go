@@ -103,6 +103,14 @@ func main() {
 		})
 		fmt.Printf("    runtime: no-adapt %.0f s | adaptive %.0f s | monitor-only %.0f s | improvement %.0f%%\n",
 			na.Runtime, ad.Runtime, mo.Runtime, out.Improvement()*100)
+		if na.StreamCompleted > 0 {
+			// Streaming scenario: the figure of merit is end-to-end item
+			// latency against the SLO target, not runtime.
+			fmt.Printf("    stream latency (mean/max s): no-adapt %.1f/%.1f | adaptive %.1f/%.1f | monitor-only %.1f/%.1f\n",
+				na.MeanStreamLatency(), na.StreamMaxLatency,
+				ad.MeanStreamLatency(), ad.StreamMaxLatency,
+				mo.MeanStreamLatency(), mo.StreamMaxLatency)
+		}
 		fmt.Printf("    nodes: adaptive final %d (peak %d) | iterations no-adapt %s\n",
 			ad.FinalNodes, ad.PeakNodes, trace.Sparkline(series(na), 60))
 		fmt.Printf("    %36s adaptive %s\n", "", trace.Sparkline(series(ad), 60))

@@ -11,6 +11,7 @@
 // Client (same binary, subcommand first):
 //
 //	satind submit -addr :7711 -app fib -size 24 -iters 3 -adapt
+//	satind submit -addr :7711 -class stream -rate 20 -items 200 -target 1 -adapt
 //	satind status -addr :7711
 //	satind status -addr :7711 -id job-001
 //	satind cancel -addr :7711 -id job-001
@@ -31,6 +32,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/sigdrain"
 	"repro/internal/transport"
+	"repro/internal/workload"
 	"repro/satin"
 )
 
@@ -141,6 +143,11 @@ func client(cmd string, args []string) {
 		maxNodes = fs.Int("max-nodes", 0, "allocation cap (0 = none)")
 		weight   = fs.Float64("weight", 1, "fair-share weight in the pool")
 		adaptOn  = fs.Bool("adapt", false, "run the adaptation coordinator")
+		class    = fs.String("class", "batch", "workload class: batch | stream")
+		stages   = fs.String("stages", "decode=0.05,transform=0.15,encode=0.05", "stream pipeline: name=seconds[/bytes],...")
+		rate     = fs.Float64("rate", 10, "stream: item arrival rate (items/s)")
+		items    = fs.Int("items", 100, "stream: total items to emit")
+		target   = fs.Float64("target", 2, "stream: end-to-end latency SLO (seconds)")
 		period   = fs.Duration("period", 0, "monitoring period override")
 		shape    = fs.String("shape", "", "throttle a cluster's WAN link: fs1=5000 (bytes/s)")
 		load     = fs.String("load", "", "competing CPU load on a cluster: fs1=3")
@@ -161,6 +168,31 @@ func client(cmd string, args []string) {
 			App: *app, Size: *size, Iters: *iters,
 			MinNodes: *minNodes, MaxNodes: *maxNodes, Weight: *weight,
 			Adapt: *adaptOn, Period: *period,
+		}
+		// The workload class is validated client-side like the other
+		// flag grammar (malformed stage spec → exit 2 with usage); the
+		// daemon revalidates the whole spec at submit.
+		switch *class {
+		case "batch":
+		case "stream":
+			st, err := job.ParseStages(*stages)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "satind submit: -stages: %v\n", err)
+				os.Exit(2)
+			}
+			stream := workload.StreamSpec{
+				Name: "cli", Stages: st,
+				RateHz: *rate, Items: *items, TargetLatency: *target,
+			}
+			if err := stream.Validate(); err != nil {
+				fmt.Fprintf(os.Stderr, "satind submit: stream spec: %v\n", err)
+				os.Exit(2)
+			}
+			spec.Class = "stream"
+			spec.Stream = &stream
+		default:
+			fmt.Fprintf(os.Stderr, "satind submit: -class must be batch or stream, got %q\n", *class)
+			os.Exit(2)
 		}
 		// Disturbance specs are parsed here for shape but validated
 		// (including cluster names) by the daemon, which knows the
@@ -194,8 +226,12 @@ func client(cmd string, args []string) {
 		fmt.Printf("%-10s %-10s %6s %6s %6s %6s %9s  %s\n",
 			"ID", "APP", "SIZE", "STATE", "NODES", "DONE", "SECONDS", "ERR")
 		for _, s := range jobs {
+			name := s.App
+			if s.Class == "stream" {
+				name = "stream"
+			}
 			fmt.Printf("%-10s %-10s %6d %6s %6d %6d %9.2f  %s\n",
-				s.ID, s.App, s.Size, s.State, s.Nodes, s.Done, s.Seconds, s.Err)
+				s.ID, name, s.Size, s.State, s.Nodes, s.Done, s.Seconds, s.Err)
 		}
 	case "cancel":
 		if *id == "" {

@@ -15,6 +15,7 @@
 //	satinrun -app nqueens -size 10 -clusters 3 -nodes 2
 //	satinrun -app barneshut -size 2000 -iters 5
 //	satinrun -app fib -adapt -iters 30 -shape fs1=5000
+//	satinrun -class stream -rate 20 -items 200 -target 1 -adapt
 package main
 
 import (
@@ -30,6 +31,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/sigdrain"
 	"repro/internal/trace"
+	"repro/internal/workload"
 	"repro/satin"
 )
 
@@ -40,6 +42,11 @@ func main() {
 		clusters = flag.Int("clusters", 2, "number of emulated clusters")
 		nodes    = flag.Int("nodes", 4, "nodes per cluster")
 		iters    = flag.Int("iters", 1, "repetitions (iterative application)")
+		class    = flag.String("class", "batch", "workload class: batch | stream")
+		stages   = flag.String("stages", "decode=0.05,transform=0.15,encode=0.05", "stream pipeline: name=seconds[/bytes],...")
+		rate     = flag.Float64("rate", 10, "stream: item arrival rate (items/s)")
+		items    = flag.Int("items", 100, "stream: total items to emit")
+		target   = flag.Float64("target", 2, "stream: end-to-end latency SLO (seconds)")
 		adaptOn  = flag.Bool("adapt", false, "run the adaptation coordinator")
 		period   = flag.Duration("period", 500*time.Millisecond, "monitoring period")
 		shape    = flag.String("shape", "", "throttle a cluster's WAN link: fs1=5000 (bytes/s)")
@@ -74,11 +81,34 @@ func main() {
 		})
 	}
 	// Malformed -shape/-load used to be silently ignored; now they are
-	// validated against the deployment before anything starts.
+	// validated against the deployment before anything starts — and the
+	// -class/-stages pair gets the same treatment.
 	jobSpec := job.Spec{
 		App: *app, Size: *size, Iters: *iters,
 		MinNodes: *clusters * *nodes,
 		Adapt:    *adaptOn, Period: *period,
+	}
+	switch *class {
+	case "batch":
+	case "stream":
+		st, err := job.ParseStages(*stages)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "satinrun: -stages: %v\n", err)
+			os.Exit(2)
+		}
+		stream := workload.StreamSpec{
+			Name: "cli", Stages: st,
+			RateHz: *rate, Items: *items, TargetLatency: *target,
+		}
+		if err := stream.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "satinrun: stream spec: %v\n", err)
+			os.Exit(2)
+		}
+		jobSpec.Class = "stream"
+		jobSpec.Stream = &stream
+	default:
+		fmt.Fprintf(os.Stderr, "satinrun: -class must be batch or stream, got %q\n", *class)
+		os.Exit(2)
 	}
 	if *shape != "" {
 		cluster, v, err := job.ParseKV(*shape, specs)
@@ -111,8 +141,13 @@ func main() {
 			"nodes": *nodes, "iters": *iters, "adapt": *adaptOn,
 		})
 	}
-	fmt.Printf("%s(size %d) on %d nodes in %d clusters, %d iteration(s)\n",
-		*app, *size, *clusters**nodes, *clusters, *iters)
+	if jobSpec.Class == "stream" {
+		fmt.Printf("stream of %d items at %.1f/s (%d stages, SLO %.1fs) on %d nodes in %d clusters\n",
+			*items, *rate, len(jobSpec.Stream.Stages), *target, *clusters**nodes, *clusters)
+	} else {
+		fmt.Printf("%s(size %d) on %d nodes in %d clusters, %d iteration(s)\n",
+			*app, *size, *clusters**nodes, *clusters, *iters)
+	}
 	if *shape != "" {
 		for c, v := range jobSpec.Shape {
 			fmt.Printf("throttled %s WAN link to %.0f B/s\n", c, v)
@@ -124,13 +159,19 @@ func main() {
 		}
 	}
 
+	label := "iteration"
+	if jobSpec.Class == "stream" {
+		label = "window" // a streaming job's unit of progress; seconds is its mean latency
+	}
 	total := time.Duration(0)
+	count := 0
 	j, err := m.SubmitJob(jobSpec, job.Hooks{
 		OnIteration: func(i int, seconds float64, nodes int) {
 			el := time.Duration(seconds * float64(time.Second))
 			total += el
-			fmt.Printf("  iteration %2d: %8v (%2d nodes)\n",
-				i, el.Round(time.Millisecond), nodes)
+			count++
+			fmt.Printf("  %s %2d: %8v (%2d nodes)\n",
+				label, i, el.Round(time.Millisecond), nodes)
 		},
 	})
 	if err != nil {
@@ -160,8 +201,13 @@ func main() {
 	default:
 		log.Fatalf("satinrun: job %s: %s", j.State(), res.Err)
 	}
-	fmt.Printf("total: %v, mean %v/iteration\n",
-		total.Round(time.Millisecond), (total / time.Duration(*iters)).Round(time.Millisecond))
+	if jobSpec.Class == "stream" {
+		fmt.Printf("%d items in %d windows, mean latency %.3fs, max %.3fs\n",
+			res.StreamCompleted, count, res.StreamMeanLatency, res.StreamMaxLatency)
+	} else {
+		fmt.Printf("total: %v, mean %v/iteration\n",
+			total.Round(time.Millisecond), (total / time.Duration(*iters)).Round(time.Millisecond))
+	}
 
 	if *verbose {
 		reports := res.NodeReports

@@ -1,0 +1,45 @@
+package apps
+
+import (
+	"time"
+
+	"repro/satin"
+)
+
+// StreamWindow is the streaming workload class's unit of execution on
+// the real runtime: one window's worth of pipeline items, expressed as
+// divide-and-conquer so work stealing spreads the items over whatever
+// nodes the job holds. WorkPerItem is the summed per-item service
+// demand of every pipeline stage — on the real runtime a window's
+// stages collapse into one grain, because once an item's payload is at
+// a worker there is no reason to ship it again between stages.
+type StreamWindow struct {
+	Items       int
+	WorkPerItem time.Duration
+	Grain       int // items per sequential leaf (default 1)
+}
+
+// Execute implements satin.Task. Leaves sleep for their items' work:
+// the emulated-load machinery stretches sleep-busy intervals exactly
+// like compute, so a loaded cluster genuinely slows the stream down.
+func (w StreamWindow) Execute(ctx *satin.Context) (any, error) {
+	grain := w.Grain
+	if grain < 1 {
+		grain = 1
+	}
+	if w.Items <= grain {
+		time.Sleep(time.Duration(w.Items) * w.WorkPerItem)
+		return w.Items, nil
+	}
+	half := w.Items / 2
+	a := ctx.Spawn(StreamWindow{Items: half, WorkPerItem: w.WorkPerItem, Grain: grain})
+	b := ctx.Spawn(StreamWindow{Items: w.Items - half, WorkPerItem: w.WorkPerItem, Grain: grain})
+	if err := ctx.Sync(); err != nil {
+		return nil, err
+	}
+	return a.Int() + b.Int(), nil
+}
+
+func init() {
+	satin.Register(StreamWindow{})
+}

@@ -114,6 +114,64 @@ func TestChaosCorpusShardedDES(t *testing.T) {
 	}
 }
 
+// TestChaosCorpusStreamingDES is the streaming-objective corpus
+// (ISSUE 9): every scenario runs the open-loop pipeline workload under
+// the latency-SLO objective with the same disturbance generator as the
+// batch corpus. On top of the structural invariants it demands the two
+// SLO-specific ones: after the last disturbance the stream health
+// (target latency over observed mean) must climb back to 1.0 within a
+// bounded number of ticks, and the grow/shrink sequence must not
+// oscillate beyond what the disturbance schedule justifies.
+func TestChaosCorpusStreamingDES(t *testing.T) {
+	seeds := make([]int64, 24)
+	for i := range seeds {
+		seeds[i] = int64(i + 201)
+	}
+	if testing.Short() {
+		seeds = seeds[:6]
+	}
+	// Coverage guard: the seed window must draw every DES-applicable
+	// disturbance kind, or a whole recovery path goes untested.
+	drawn := map[EventKind]int{}
+	for _, seed := range seeds {
+		for _, e := range Generate(seed, GenConfig{Streaming: true}).Events {
+			drawn[e.Kind]++
+		}
+	}
+	if drawn[EvLoad] == 0 || drawn[EvShape] == 0 || drawn[EvCrash] == 0 {
+		t.Fatalf("streaming corpus draws load=%d shape=%d crash=%d events; shift the seed window",
+			drawn[EvLoad], drawn[EvShape], drawn[EvCrash])
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc := Generate(seed, GenConfig{Streaming: true})
+			if sc.Stream == nil {
+				t.Fatal("Streaming scenario has no stream spec")
+			}
+			res, obs, err := RunDES(sc)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if !res.Completed {
+				t.Errorf("seed %d: aborted at horizon %.0fs with %d/%d items through (events: %v)",
+					seed, sc.Horizon, res.StreamCompleted, sc.Stream.Items, sc.Events)
+			} else if res.StreamCompleted != sc.Stream.Items {
+				t.Errorf("seed %d: completed run lost items: %d/%d", seed, res.StreamCompleted, sc.Stream.Items)
+			}
+			for _, v := range Check(obs, CheckConfig{
+				DisturbEnd:         sc.DisturbEnd(),
+				RequireSLORecovery: true,
+				SLORecoverWithin:   15,
+				MaxDirectionFlips:  2*len(sc.Events) + 2,
+			}) {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+		})
+	}
+}
+
 // The whole corpus is a pure function of its seeds.
 func TestChaosGeneratorDeterministic(t *testing.T) {
 	for _, seed := range []int64{1, 7, 1234} {
@@ -129,6 +187,13 @@ func TestChaosGeneratorDeterministic(t *testing.T) {
 	a := Generate(7, GenConfig{CoordFaults: true})
 	if !reflect.DeepEqual(a, Generate(7, GenConfig{CoordFaults: true})) {
 		t.Fatal("CoordFaults generator is not deterministic")
+	}
+	s := Generate(7, GenConfig{Streaming: true})
+	if s.Stream == nil {
+		t.Fatal("Streaming generator produced no stream spec")
+	}
+	if !reflect.DeepEqual(s, Generate(7, GenConfig{Streaming: true})) {
+		t.Fatal("Streaming generator is not deterministic")
 	}
 }
 

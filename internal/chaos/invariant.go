@@ -56,6 +56,32 @@ type CheckConfig struct {
 	// issued before the eviction decision can land afterwards
 	// (deployment takes JoinDelay). Default 1.
 	ProvisionGrace int
+
+	// Streaming-objective invariants (ISSUE 9). In a streaming run the
+	// period record's WAE column carries stream health — TargetLatency
+	// over the period's mean end-to-end latency, so 1.0 means exactly on
+	// target and higher is better.
+
+	// RequireSLORecovery asserts that after DisturbEnd the stream
+	// health climbs back to SLORecoverHealth or above within
+	// SLORecoverWithin fresh-statistics ticks: the latency spike a
+	// fault causes must be adapted away, not merely survived.
+	RequireSLORecovery bool
+	// SLORecoverHealth is the health level that counts as recovered
+	// (default 1: mean latency back at or under the target).
+	SLORecoverHealth float64
+	// SLORecoverWithin bounds how many post-disturbance ticks with
+	// fresh statistics the recovery may take (0 = any tick before the
+	// run ends).
+	SLORecoverWithin int
+
+	// MaxDirectionFlips, when positive, bounds grow/shrink oscillation:
+	// the acting decision sequence may reverse direction (add ->
+	// remove, or remove -> add) at most this many times over the whole
+	// run. A healthy hysteresis loop reverses about once per
+	// disturbance (grow into the fault, release after the recovery); an
+	// unstable one alternates every few periods.
+	MaxDirectionFlips int
 }
 
 // Violation is one invariant breach, pointing at the observation where
@@ -166,6 +192,76 @@ func Check(obs []Observation, cfg CheckConfig) []Violation {
 				Invariant: "wae-recovery", Index: len(obs) - 1,
 				Detail: fmt.Sprintf("WAE never re-entered [%.2f,%.2f] after t=%.0f (best %.3f over %d ticks)",
 					cfg.EMin, cfg.EMax, cfg.DisturbEnd, worst, watched),
+			})
+		}
+	}
+
+	// SLO recovery: after the disturbance settles, the stream health
+	// must re-enter the target within the allowed number of ticks. The
+	// watch counts only ticks with fresh statistics — a post-action
+	// reset period judges nothing and should not burn the budget.
+	if cfg.RequireSLORecovery {
+		floor := cfg.SLORecoverHealth
+		if floor == 0 {
+			floor = 1
+		}
+		recovered, watched := false, 0
+		best := -1.0
+		for _, o := range obs {
+			r := o.Record
+			if r.Time <= cfg.DisturbEnd || r.Stats == 0 {
+				continue
+			}
+			watched++
+			if r.WAE > best {
+				best = r.WAE
+			}
+			if r.WAE >= floor {
+				recovered = true
+				break
+			}
+			if cfg.SLORecoverWithin > 0 && watched >= cfg.SLORecoverWithin {
+				break
+			}
+		}
+		// Zero post-disturbance ticks means the run ended first; the
+		// completion check owns that case.
+		if watched > 0 && !recovered {
+			out = append(out, Violation{
+				Invariant: "slo-recovery", Index: len(obs) - 1,
+				Detail: fmt.Sprintf("stream health never reached %.2f within %d ticks after t=%.0f (best %.3f)",
+					floor, watched, cfg.DisturbEnd, best),
+			})
+		}
+	}
+
+	// No oscillation: the grow/shrink sequence may reverse direction
+	// only as often as the disturbance schedule justifies. Same-direction
+	// repeats (growing in steps, releasing one node per calm period) are
+	// fine; alternation means the objective's hysteresis band is broken.
+	if cfg.MaxDirectionFlips > 0 {
+		flips, last, lastFlip := 0, 0, 0
+		for i, o := range obs {
+			var dir int
+			switch o.Record.Action {
+			case "add":
+				dir = 1
+			case "remove-nodes", "remove-cluster":
+				dir = -1
+			default:
+				continue
+			}
+			if last != 0 && dir != last {
+				flips++
+				lastFlip = i
+			}
+			last = dir
+		}
+		if flips > cfg.MaxDirectionFlips {
+			out = append(out, Violation{
+				Invariant: "no-oscillation", Index: lastFlip,
+				Detail: fmt.Sprintf("decision sequence reversed grow/shrink direction %d times (allowed %d)",
+					flips, cfg.MaxDirectionFlips),
 			})
 		}
 	}

@@ -1,0 +1,129 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/coord"
+)
+
+// obsSeq builds a synthetic observation stream from (time, health,
+// action) triples; every tick carries fresh statistics unless stats is
+// zeroed afterwards.
+func obsSeq(rows []struct {
+	t      float64
+	health float64
+	action string
+}) []Observation {
+	out := make([]Observation, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, Observation{Record: coord.PeriodRecord{
+			Time: r.t, Stats: 4, WAE: r.health, Action: r.action,
+		}})
+	}
+	return out
+}
+
+// TestInvariantSLORecovery: the slo-recovery invariant fires when the
+// stream health never climbs back to the target after the disturbance,
+// honours the tick budget, and ignores pre-disturbance and
+// zero-statistics ticks.
+func TestInvariantSLORecovery(t *testing.T) {
+	healthy := obsSeq([]struct {
+		t      float64
+		health float64
+		action string
+	}{
+		{100, 0.2, "add"}, {200, 0.4, "none"}, {300, 0.6, "none"}, {400, 1.2, "none"},
+	})
+	if vs := Check(healthy, CheckConfig{DisturbEnd: 150, RequireSLORecovery: true}); len(vs) != 0 {
+		t.Fatalf("recovered run flagged: %v", vs)
+	}
+
+	stuck := obsSeq([]struct {
+		t      float64
+		health float64
+		action string
+	}{
+		{100, 0.2, "add"}, {200, 0.4, "none"}, {300, 0.6, "none"}, {400, 0.9, "none"},
+	})
+	vs := Check(stuck, CheckConfig{DisturbEnd: 150, RequireSLORecovery: true})
+	if len(vs) != 1 || vs[0].Invariant != "slo-recovery" {
+		t.Fatalf("stuck run not flagged: %v", vs)
+	}
+
+	// Recovery outside the tick budget still counts as a violation.
+	late := obsSeq([]struct {
+		t      float64
+		health float64
+		action string
+	}{
+		{100, 0.2, "add"}, {200, 0.4, "none"}, {300, 0.6, "none"}, {400, 1.2, "none"},
+	})
+	vs = Check(late, CheckConfig{DisturbEnd: 150, RequireSLORecovery: true, SLORecoverWithin: 2})
+	if len(vs) != 1 || vs[0].Invariant != "slo-recovery" {
+		t.Fatalf("late recovery not flagged under budget 2: %v", vs)
+	}
+
+	// A post-action reset tick (no statistics) must not burn the budget.
+	withReset := obsSeq([]struct {
+		t      float64
+		health float64
+		action string
+	}{
+		{200, 0.4, "add"}, {300, 0, "none"}, {400, 1.2, "none"},
+	})
+	withReset[1].Record.Stats = 0
+	if vs := Check(withReset, CheckConfig{DisturbEnd: 150, RequireSLORecovery: true, SLORecoverWithin: 2}); len(vs) != 0 {
+		t.Fatalf("reset tick burned the recovery budget: %v", vs)
+	}
+
+	// The run ending before any post-disturbance tick is the completion
+	// check's business, not a recovery violation.
+	ended := obsSeq([]struct {
+		t      float64
+		health float64
+		action string
+	}{{100, 0.2, "add"}})
+	if vs := Check(ended, CheckConfig{DisturbEnd: 150, RequireSLORecovery: true}); len(vs) != 0 {
+		t.Fatalf("run-ended case flagged: %v", vs)
+	}
+}
+
+// TestInvariantNoOscillation: direction flips between grow and shrink
+// actions are counted across the whole log; same-direction repeats and
+// non-acting periods are free.
+func TestInvariantNoOscillation(t *testing.T) {
+	steady := obsSeq([]struct {
+		t      float64
+		health float64
+		action string
+	}{
+		{100, 0.5, "add"}, {200, 0.5, "add"}, {300, 2, "none"},
+		{400, 3, "remove-nodes"}, {500, 3, "remove-nodes"}, {600, 2, "none"},
+	})
+	// One flip (add -> remove): within any positive bound.
+	if vs := Check(steady, CheckConfig{MaxDirectionFlips: 1}); len(vs) != 0 {
+		t.Fatalf("single reversal flagged: %v", vs)
+	}
+
+	thrash := obsSeq([]struct {
+		t      float64
+		health float64
+		action string
+	}{
+		{100, 0.5, "add"}, {200, 3, "remove-nodes"}, {300, 0.5, "add"},
+		{400, 3, "remove-cluster"}, {500, 0.5, "add"},
+	})
+	vs := Check(thrash, CheckConfig{MaxDirectionFlips: 2})
+	if len(vs) != 1 || vs[0].Invariant != "no-oscillation" {
+		t.Fatalf("thrashing not flagged: %v", vs)
+	}
+	if vs[0].Index != 4 {
+		t.Fatalf("violation anchored at tick %d, want the last flip (4)", vs[0].Index)
+	}
+
+	// Zero disables the check entirely.
+	if vs := Check(thrash, CheckConfig{}); len(vs) != 0 {
+		t.Fatalf("disabled check still fired: %v", vs)
+	}
+}

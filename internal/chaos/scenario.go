@@ -107,6 +107,13 @@ type Scenario struct {
 	Horizon float64 // abort bound, virtual seconds
 	Events  []Event
 
+	// Stream, when set, makes this a streaming-pipeline scenario
+	// (ISSUE 9): Spec is ignored, the run adapts against the latency SLO
+	// (core.StreamSLO on Stream.TargetLatency) instead of the WAE band,
+	// and the invariants of interest become SLO recovery and
+	// no-oscillation rather than WAE recovery.
+	Stream *workload.StreamSpec
+
 	// Refuge is a cluster the generator never disturbs, so the grid
 	// always retains healthy capacity and WAE recovery is achievable.
 	Refuge core.ClusterID
@@ -148,6 +155,10 @@ type GenConfig struct {
 	// and marks the scenario Sharded — the flat coordinator has no
 	// failover to test.
 	CoordFaults bool
+	// Streaming generates a streaming-pipeline scenario instead of a
+	// batch one: Scenario.Stream is set and DESParams selects the
+	// StreamSLO objective.
+	Streaming bool
 }
 
 func (g *GenConfig) defaults() {
@@ -230,16 +241,36 @@ func Generate(seed int64, cfg GenConfig) Scenario {
 	// Sized so the run spans well past the event window (disturbances
 	// land between periods 2 and 8): ~20 iterations of a couple of
 	// monitoring periods each, whatever the adaptation does.
-	sc.Spec = workload.Spec{
-		Name:                   fmt.Sprintf("chaos-%d", seed),
-		Iterations:             20,
-		WorkPerIteration:       150 * float64(startNodes),
-		SequentialPerIteration: 2,
-		Grain:                  0.25,
-		Irregularity:           0.5,
-		BytesPerNode:           8e6,
-		ExchangeBytes:          0.5e6,
-		StealMsgBytes:          4096,
+	if cfg.Streaming {
+		// The open-loop source offers about half the initial capacity
+		// (1.5 speed-seconds of stage work per item, nodes near speed 1),
+		// so the pipeline starts healthy and only a disturbance pushes
+		// latency over the SLO; the source runs ~30 periods, leaving a
+		// long post-disturbance window for the recovery invariant.
+		rate := float64(startNodes) / 3
+		sc.Stream = &workload.StreamSpec{
+			Name: fmt.Sprintf("chaos-stream-%d", seed),
+			Stages: []workload.StreamStage{
+				{Name: "decode", WorkPerItem: 0.3, BytesPerItem: 64 << 10},
+				{Name: "transform", WorkPerItem: 0.9, BytesPerItem: 32 << 10},
+				{Name: "encode", WorkPerItem: 0.3, BytesPerItem: 32 << 10},
+			},
+			RateHz:        rate,
+			Items:         int(rate * 30 * cfg.Period),
+			TargetLatency: 6,
+		}
+	} else {
+		sc.Spec = workload.Spec{
+			Name:                   fmt.Sprintf("chaos-%d", seed),
+			Iterations:             20,
+			WorkPerIteration:       150 * float64(startNodes),
+			SequentialPerIteration: 2,
+			Grain:                  0.25,
+			Irregularity:           0.5,
+			BytesPerNode:           8e6,
+			ExchangeBytes:          0.5e6,
+			StealMsgBytes:          4096,
+		}
 	}
 	sc.Horizon = 80 * cfg.Period
 
@@ -344,19 +375,27 @@ func (sc Scenario) Injections() []des.Injection {
 	return out
 }
 
-// DESParams assembles a full simulator run for the scenario, with the
-// paper's default adaptation configuration.
+// DESParams assembles a full simulator run for the scenario: batch
+// scenarios get the paper's default WAE-band configuration, streaming
+// scenarios the default latency-SLO objective (the two are mutually
+// exclusive — a run has one objective).
 func (sc Scenario) DESParams() des.Params {
-	adapt := core.DefaultConfig()
 	p := des.Params{
 		Topo:    sc.Topo,
 		Spec:    sc.Spec,
 		Seed:    sc.Seed,
 		Initial: sc.Initial,
 		Mon:     des.DefaultMonitor(),
-		Adapt:   &adapt,
 		Events:  sc.Injections(),
 		MaxTime: sc.Horizon,
+	}
+	if sc.Stream != nil {
+		slo := core.DefaultStreamSLO(sc.Stream.TargetLatency)
+		p.Stream = sc.Stream
+		p.StreamSLO = &slo
+	} else {
+		adapt := core.DefaultConfig()
+		p.Adapt = &adapt
 	}
 	p.Mon.Period = sc.Period
 	p.Sharded = sc.Sharded

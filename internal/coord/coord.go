@@ -95,9 +95,16 @@ type Annotation struct {
 
 // Config tunes a Kernel.
 type Config struct {
-	// Engine configures the decision engine; nil means the kernel only
-	// monitors (it records WAE but never decides).
+	// Engine configures the batch decision engine; when Objective is
+	// nil and Engine is set, the kernel runs the classic WAE band
+	// (core.BatchWAE). Nil Engine with nil Objective means the kernel
+	// only monitors (it records health but never decides).
 	Engine *core.Config
+	// Objective overrides the adaptation objective: the policy that
+	// turns one period's observations into a grow/hold/shrink verdict.
+	// Objectives may be stateful (hysteresis) and must not be shared
+	// between kernels.
+	Objective core.Objective
 	// MonitorOnly computes and records but never decides or acts (the
 	// paper's "runtime 3", used to price the adaptation support).
 	MonitorOnly bool
@@ -124,12 +131,15 @@ type Config struct {
 // for concurrent use: the real runtime feeds Report from transport
 // handlers while its ticker calls Tick.
 type Kernel struct {
-	cfg  Config
-	eng  *core.Engine // nil = monitor-only
-	reqs *core.Requirements
-	act  Actuator
+	cfg     Config
+	eng     *core.Engine   // batch engine (nil for non-batch objectives)
+	obj     core.Objective // nil = monitor-only
+	weights core.BadnessWeights
+	reqs    *core.Requirements
+	act     Actuator
 
 	mu      sync.Mutex
+	stream  *core.StreamObs // pending streaming observation for the next tick
 	reports map[core.NodeID]metrics.Report
 	// prevStats keeps the previous period's per-node statistics: the
 	// kernel decides on the average of two periods, smoothing out the
@@ -144,24 +154,29 @@ type Kernel struct {
 // once at kernel construction so the tick path never takes the
 // registry lock.
 type kernelInstruments struct {
-	ticks     *obs.Counter
-	smoothed  *obs.Counter
-	resets    *obs.Counter
-	wae       *obs.Gauge
-	liveNodes *obs.Gauge
-	reported  *obs.Gauge
-	periodWAE *obs.Histogram
+	ticks        *obs.Counter
+	smoothed     *obs.Counter
+	resets       *obs.Counter
+	health       *obs.Gauge
+	liveNodes    *obs.Gauge
+	reported     *obs.Gauge
+	periodHealth *obs.Histogram
 }
 
 func newKernelInstruments() kernelInstruments {
+	// The health series carry the objective's scalar (WAE for batch,
+	// target/latency for streams). The pre-objective names stay
+	// registered as aliases so existing scrapes keep working.
+	obs.Default.Alias("coord/health", "coord/wae")
+	obs.Default.Alias("coord/period_health", "coord/period_wae")
 	return kernelInstruments{
-		ticks:     obs.Default.Counter("coord/ticks"),
-		smoothed:  obs.Default.Counter("coord/smoothed_reports"),
-		resets:    obs.Default.Counter("coord/post_action_resets"),
-		wae:       obs.Default.Gauge("coord/wae"),
-		liveNodes: obs.Default.Gauge("coord/live_nodes"),
-		reported:  obs.Default.Gauge("coord/reported_nodes"),
-		periodWAE: obs.Default.Histogram("coord/period_wae", obs.WAEBuckets),
+		ticks:        obs.Default.Counter("coord/ticks"),
+		smoothed:     obs.Default.Counter("coord/smoothed_reports"),
+		resets:       obs.Default.Counter("coord/post_action_resets"),
+		health:       obs.Default.Gauge("coord/health"),
+		liveNodes:    obs.Default.Gauge("coord/live_nodes"),
+		reported:     obs.Default.Gauge("coord/reported_nodes"),
+		periodHealth: obs.Default.Histogram("coord/period_health", obs.HealthBuckets),
 	}
 }
 
@@ -182,14 +197,46 @@ func New(cfg Config, act Actuator) (*Kernel, error) {
 		protected: make(map[core.NodeID]bool),
 		ins:       newKernelInstruments(),
 	}
-	if cfg.Engine != nil {
-		eng, err := core.NewEngine(*cfg.Engine)
+	k.weights = core.DefaultBadnessWeights()
+	switch {
+	case cfg.Objective != nil:
+		k.obj = cfg.Objective
+		// The batch objective keeps its engine reachable: the kernel's
+		// cluster-eviction fallback still needs ShrinkCount.
+		if b, ok := cfg.Objective.(*core.BatchWAE); ok {
+			k.eng = b.Engine()
+			k.weights = k.eng.Config().Weights
+		} else if s, ok := cfg.Objective.(*core.StreamSLO); ok {
+			k.weights = s.Config().Weights
+		}
+	case cfg.Engine != nil:
+		obj, err := core.NewBatchWAE(*cfg.Engine)
 		if err != nil {
 			return nil, err
 		}
-		k.eng = eng
+		k.obj = obj
+		k.eng = obj.Engine()
+		k.weights = k.eng.Config().Weights
 	}
 	return k, nil
+}
+
+// Objective returns the kernel's adaptation objective (nil when the
+// kernel only monitors).
+func (k *Kernel) Objective() core.Objective { return k.obj }
+
+// ObserveStream ingests one period's streaming observation; the next
+// Tick consumes it. Partial observations within a period merge by
+// summation.
+func (k *Kernel) ObserveStream(o core.StreamObs) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.stream == nil {
+		cp := o
+		k.stream = &cp
+		return
+	}
+	k.stream.Merge(o)
 }
 
 // Requirements exposes what the run has taught the kernel.
@@ -306,9 +353,18 @@ func (k *Kernel) Tick(now float64, live []core.NodeID) PeriodRecord {
 	}
 	k.prevStats = next
 
+	// The period's streaming observation (if any) is consumed by this
+	// tick whether or not the kernel decides on it.
+	po := core.PeriodObs{Stats: stats, Stream: k.stream}
+	k.stream = nil
+
+	health := core.WeightedAverageEfficiency(stats)
+	if k.obj != nil {
+		health = k.obj.Health(po)
+	}
 	rec := PeriodRecord{
 		Time:  now,
-		WAE:   core.WeightedAverageEfficiency(stats),
+		WAE:   health,
 		Nodes: len(live),
 		Stats: len(stats),
 	}
@@ -316,8 +372,8 @@ func (k *Kernel) Tick(now float64, live []core.NodeID) PeriodRecord {
 	k.ins.liveNodes.Set(float64(len(live)))
 	k.ins.reported.Set(float64(len(stats)))
 	if len(stats) > 0 {
-		k.ins.wae.Set(rec.WAE)
-		k.ins.periodWAE.Observe(rec.WAE)
+		k.ins.health.Set(rec.WAE)
+		k.ins.periodHealth.Observe(rec.WAE)
 	}
 	defer func() {
 		// "none" periods are already counted by coord/ticks; only real
@@ -332,7 +388,7 @@ func (k *Kernel) Tick(now float64, live []core.NodeID) PeriodRecord {
 			obs.Default.Counter("coord/nodes_removed").Add(uint64(rec.Removed))
 		}
 	}()
-	if k.eng == nil || k.cfg.MonitorOnly {
+	if k.obj == nil || k.cfg.MonitorOnly {
 		if len(stats) > 0 {
 			rec.Detail = fmt.Sprintf("monitor only: WAE %.3f on %d nodes", rec.WAE, len(stats))
 		}
@@ -360,7 +416,7 @@ func (k *Kernel) Tick(now float64, live []core.NodeID) PeriodRecord {
 	// the shrunken configuration next period.
 	if k.cfg.Pressure != nil {
 		if p := k.cfg.Pressure(); p > 0 {
-			ranked := core.RankNodes(stats, k.eng.Config().Weights)
+			ranked := core.RankNodes(stats, k.weights)
 			var victims []core.NodeID
 			for _, nb := range ranked {
 				if len(victims) >= p {
@@ -384,10 +440,11 @@ func (k *Kernel) Tick(now float64, live []core.NodeID) PeriodRecord {
 		}
 	}
 
-	d := k.eng.Decide(stats)
+	d := k.obj.Assess(po)
 	rec.WAE = d.WAE
 	rec.Action = d.Action.String()
 	rec.Detail = d.Reason
+	blacklist := k.obj.Traits().BlacklistVictims || d.Blacklist
 
 	acted := false
 	switch d.Action {
@@ -409,7 +466,7 @@ func (k *Kernel) Tick(now float64, live []core.NodeID) PeriodRecord {
 			k.act.Annotate(fmt.Sprintf("adding %d nodes (WAE %.2f)", rec.Added, d.WAE))
 		}
 	case core.ActionRemoveNodes:
-		rec.Removed = k.evict(d.RemoveNodes, "badness", true)
+		rec.Removed = k.evict(d.RemoveNodes, "badness", blacklist)
 		if rec.Removed > 0 {
 			acted = true
 			k.act.Annotate(fmt.Sprintf("removed %d worst nodes (WAE %.2f)", rec.Removed, d.WAE))
@@ -425,13 +482,14 @@ func (k *Kernel) Tick(now float64, live []core.NodeID) PeriodRecord {
 			}
 			k.act.Annotate(fmt.Sprintf("removed badly connected cluster %s (%d nodes)",
 				d.RemoveCluster, removed))
-		} else {
+		} else if k.eng != nil {
 			// The offending cluster holds only protected nodes, which
 			// cannot leave; fall back to evicting the worst ordinary
 			// nodes so the coordinator does not spin on the same
-			// decision.
+			// decision. Only the batch objective emits cluster
+			// evictions, so the engine is present here.
 			count := k.eng.ShrinkCount(len(stats), d.WAE)
-			ranked := core.RankNodes(stats, k.eng.Config().Weights)
+			ranked := core.RankNodes(stats, k.weights)
 			var victims []core.NodeID
 			for _, nb := range ranked {
 				if len(victims) >= count {

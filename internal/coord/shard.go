@@ -105,6 +105,16 @@ type ClusterSummary struct {
 	// them globally before evicting.
 	Proposals []NodeSample
 
+	// Streaming-objective partials: the cluster's share of the period's
+	// stream observation (core.StreamObs fields, summed at the root).
+	// HasStream distinguishes "no streaming workload" from an all-zero
+	// observation.
+	HasStream        bool
+	StreamArrived    int
+	StreamCompleted  int
+	StreamLatencySum float64
+	StreamBacklog    int
+
 	// Req is the sub's cached requirements state (see ReqState).
 	Req ReqState
 }
@@ -121,6 +131,7 @@ type SubKernel struct {
 	mu        sync.Mutex
 	reports   map[core.NodeID]metrics.Report
 	prevStats map[core.NodeID]core.NodeStats
+	stream    *core.StreamObs // pending streaming partial for the next summary
 	seq       uint64
 }
 
@@ -148,6 +159,21 @@ func (sk *SubKernel) Report(rep metrics.Report) {
 		return
 	}
 	sk.reports[rep.Node] = rep
+}
+
+// ObserveStream ingests the cluster's share of one period's streaming
+// observation; the next Summarize ships it to the root as summary
+// partials. Partials within a period merge by summation, mirroring
+// Kernel.ObserveStream.
+func (sk *SubKernel) ObserveStream(o core.StreamObs) {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	if sk.stream == nil {
+		cp := o
+		sk.stream = &cp
+		return
+	}
+	sk.stream.Merge(o)
 }
 
 // Forget drops a departed node's state immediately.
@@ -266,6 +292,14 @@ func (sk *SubKernel) Summarize(now float64, live []core.NodeID) ClusterSummary {
 			sum.InterBWCnt++
 		}
 	}
+	if sk.stream != nil {
+		sum.HasStream = true
+		sum.StreamArrived = sk.stream.Arrived
+		sum.StreamCompleted = sk.stream.Completed
+		sum.StreamLatencySum = sk.stream.LatencySum
+		sum.StreamBacklog = sk.stream.Backlog
+		sk.stream = nil
+	}
 	sum.Proposals = sk.propose(stats)
 	return sum
 }
@@ -341,10 +375,12 @@ func newRootInstruments() rootInstruments {
 // learning, blacklists, cluster eviction, provisioning, opportunistic
 // migration and fair-share yield. Safe for concurrent use.
 type RootKernel struct {
-	cfg  Config
-	eng  *core.Engine
-	reqs *core.Requirements
-	act  Actuator
+	cfg     Config
+	eng     *core.Engine   // batch engine (nil for non-batch objectives)
+	obj     core.Objective // nil = monitor-only
+	weights core.BadnessWeights
+	reqs    *core.Requirements
+	act     Actuator
 
 	mu         sync.Mutex
 	sums       map[core.ClusterID]ClusterSummary
@@ -371,15 +407,34 @@ func NewRoot(cfg Config, act Actuator) (*RootKernel, error) {
 		protected: make(map[core.NodeID]bool),
 		ins:       newRootInstruments(),
 	}
-	if cfg.Engine != nil {
-		eng, err := core.NewEngine(*cfg.Engine)
+	rk.weights = core.DefaultBadnessWeights()
+	switch {
+	case cfg.Objective != nil:
+		rk.obj = cfg.Objective
+		// The batch objective keeps its engine reachable: the root's
+		// cluster-eviction rules still need the culprit thresholds and
+		// ShrinkCount.
+		if b, ok := cfg.Objective.(*core.BatchWAE); ok {
+			rk.eng = b.Engine()
+			rk.weights = rk.eng.Config().Weights
+		} else if s, ok := cfg.Objective.(*core.StreamSLO); ok {
+			rk.weights = s.Config().Weights
+		}
+	case cfg.Engine != nil:
+		obj, err := core.NewBatchWAE(*cfg.Engine)
 		if err != nil {
 			return nil, err
 		}
-		rk.eng = eng
+		rk.obj = obj
+		rk.eng = obj.Engine()
+		rk.weights = rk.eng.Config().Weights
 	}
 	return rk, nil
 }
+
+// Objective returns the root's adaptation objective (nil when the root
+// only monitors).
+func (rk *RootKernel) Objective() core.Objective { return rk.obj }
 
 // Requirements exposes what the run has taught the root.
 func (rk *RootKernel) Requirements() *core.Requirements { return rk.reqs }
@@ -551,14 +606,48 @@ func (rk *RootKernel) Tick(now float64, liveClusters []core.ClusterID, totalNode
 		eff = sumE / float64(n)
 	}
 
-	rec := PeriodRecord{Time: now, WAE: wae, Nodes: totalNodes, Stats: n}
+	// Sum the clusters' streaming partials into the period's global
+	// observation, consuming them (a summary's stream fields feed
+	// exactly one tick, like the flat kernel's pending observation).
+	var streamObs *core.StreamObs
+	for _, c := range order {
+		s := rk.sums[c]
+		if !s.HasStream {
+			continue
+		}
+		if streamObs == nil {
+			streamObs = &core.StreamObs{}
+		}
+		streamObs.Merge(core.StreamObs{
+			Arrived:    s.StreamArrived,
+			Completed:  s.StreamCompleted,
+			LatencySum: s.StreamLatencySum,
+			Backlog:    s.StreamBacklog,
+		})
+		s.HasStream = false
+		s.StreamArrived, s.StreamCompleted, s.StreamBacklog = 0, 0, 0
+		s.StreamLatencySum = 0
+		rk.sums[c] = s
+	}
+
+	dWAE := wae
+	if rk.eng != nil && rk.eng.Config().UnweightedEfficiency {
+		dWAE = eff
+	}
+	po := core.PeriodObs{Health: dWAE, HasHealth: n > 0, Stream: streamObs}
+	health := dWAE
+	if rk.obj != nil {
+		health = rk.obj.Health(po)
+	}
+
+	rec := PeriodRecord{Time: now, WAE: health, Nodes: totalNodes, Stats: n}
 	rk.ins.ticks.Inc()
 	rk.ins.liveNodes.Set(float64(totalNodes))
 	rk.ins.reported.Set(float64(n))
 	rk.ins.clusters.Set(float64(len(order)))
 	if n > 0 {
-		rk.ins.wae.Set(rec.WAE)
-		rk.ins.periodWAE.Observe(rec.WAE)
+		rk.ins.health.Set(rec.WAE)
+		rk.ins.periodHealth.Observe(rec.WAE)
 	}
 	defer func() {
 		if rec.Action != "" && rec.Action != "none" {
@@ -571,7 +660,7 @@ func (rk *RootKernel) Tick(now float64, liveClusters []core.ClusterID, totalNode
 			obs.Default.Counter("coord/nodes_removed").Add(uint64(rec.Removed))
 		}
 	}()
-	if rk.eng == nil || rk.cfg.MonitorOnly {
+	if rk.obj == nil || rk.cfg.MonitorOnly {
 		if n > 0 {
 			rec.Detail = fmt.Sprintf("monitor only: WAE %.3f on %d nodes", rec.WAE, n)
 		}
@@ -589,13 +678,8 @@ func (rk *RootKernel) Tick(now float64, liveClusters []core.ClusterID, totalNode
 		return rec
 	}
 
-	ecfg := rk.eng.Config()
-	dWAE := wae
-	if ecfg.UnweightedEfficiency {
-		dWAE = eff
-	}
-
-	// Fair-share yield outranks the WAE band, as in the flat kernel.
+	// Fair-share yield outranks the objective band, as in the flat
+	// kernel.
 	if rk.cfg.Pressure != nil {
 		if p := rk.cfg.Pressure(); p > 0 {
 			ranked := rk.rankProposals(order, maxSp, minKnown)
@@ -621,24 +705,21 @@ func (rk *RootKernel) Tick(now float64, liveClusters []core.ClusterID, totalNode
 	}
 
 	acted := false
-	switch {
-	case dWAE > ecfg.EMax:
-		add := rk.eng.GrowCount(n, dWAE)
-		rec.WAE = dWAE
+	v, cnt := rk.obj.Judge(health, n)
+	switch v {
+	case core.VerdictGrow:
 		rec.Action = "add"
-		rec.Detail = fmt.Sprintf("WAE %.3f > EMax %.2f on %d nodes: request %d more",
-			dWAE, ecfg.EMax, n, add)
-		rec.Added = rk.act.Provision(add, rk.reqs.MinBandwidth(), rk.veto)
+		rec.Detail = rk.obj.Explain(core.VerdictGrow, health, n, cnt)
+		rec.Added = rk.act.Provision(cnt, rk.reqs.MinBandwidth(), rk.veto)
 		if rec.Added > 0 {
 			acted = true
-			rk.act.Annotate(fmt.Sprintf("adding %d nodes (WAE %.2f)", rec.Added, dWAE))
+			rk.act.Annotate(fmt.Sprintf("adding %d nodes (WAE %.2f)", rec.Added, health))
 		}
-	case dWAE < ecfg.EMin:
-		acted = rk.shrink(&rec, order, ecfg, dWAE, n, maxSp, minKnown)
+	case core.VerdictShrink, core.VerdictShed:
+		acted = rk.shrink(&rec, v, order, health, n, cnt, maxSp, minKnown)
 	default:
-		rec.WAE = dWAE
 		rec.Action = "none"
-		rec.Detail = fmt.Sprintf("WAE %.3f within [%.2f,%.2f]", dWAE, ecfg.EMin, ecfg.EMax)
+		rec.Detail = rk.obj.Explain(core.VerdictHold, health, n, 0)
 		if rk.cfg.Opportunistic {
 			if added, removed := rk.tryOpportunistic(order, maxSp, minKnown); added > 0 {
 				rec.Action = "opportunistic-migrate"
@@ -666,77 +747,82 @@ func (rk *RootKernel) resetLocked() {
 	rk.ins.resets.Inc()
 }
 
-// shrink is the WAE < EMin branch: bandwidth-culprit cluster eviction
-// first, then the inter-comm dominance fallback, then worst-node
-// removal — the exact rule order of core.Engine.Decide, recomputed from
-// cluster partials.
-func (rk *RootKernel) shrink(rec *PeriodRecord, order []core.ClusterID, ecfg core.Config, wae float64, n int, maxSp, minKnown float64) bool {
-	rec.WAE = wae
-	clusters := rk.rankClusters(order)
+// shrink is the objective's shrink (or shed) verdict: for objectives
+// with the ClusterEviction trait, bandwidth-culprit cluster eviction
+// first, then the inter-comm dominance fallback; then worst-node
+// removal — the exact rule order of core.Engine.Decide, recomputed
+// from cluster partials. cnt is the objective's node-removal magnitude
+// (0 = floor reached). A VerdictShed blacklists its victims regardless
+// of the objective's traits, mirroring Decision.Blacklist on the flat
+// path.
+func (rk *RootKernel) shrink(rec *PeriodRecord, v core.Verdict, order []core.ClusterID, health float64, n, cnt int, maxSp, minKnown float64) bool {
+	tr := rk.obj.Traits()
+	if tr.ClusterEviction && rk.eng != nil {
+		ecfg := rk.eng.Config()
 
-	// Primary rule: measured pair-bandwidth culprit.
-	if ecfg.ClusterDropBWRatio > 0 {
-		if culprit, bw, ref, ok := rk.bandwidthCulprit(order, ecfg.MinPairBytes); ok && ref > 0 && bw <= ref*ecfg.ClusterDropBWRatio {
-			if s, here := rk.sums[culprit]; here && s.Stats > 0 && n-s.Stats >= ecfg.MinNodes {
+		// Primary rule: measured pair-bandwidth culprit.
+		if ecfg.ClusterDropBWRatio > 0 {
+			if culprit, bw, ref, ok := rk.bandwidthCulprit(order, ecfg.MinPairBytes); ok && ref > 0 && bw <= ref*ecfg.ClusterDropBWRatio {
+				if s, here := rk.sums[culprit]; here && s.Stats > 0 && n-s.Stats >= ecfg.MinNodes {
+					rec.Action = "remove-cluster"
+					rec.Detail = fmt.Sprintf("cluster %s best-pair bandwidth %.0f B/s vs %.0f B/s elsewhere: uplink insufficient, evacuating cluster",
+						culprit, bw, ref)
+					interComm := s.InterSum / float64(s.Stats)
+					rec.Removed = rk.evictCluster(rec, culprit, interComm, bw, health, n)
+					return rec.Removed > 0
+				}
+			}
+		}
+
+		// Fallback rule: exceptionally high inter-cluster overhead that
+		// clearly dominates the runner-up.
+		clusters := rk.rankClusters(order)
+		worst, second := -1, -1
+		for i := range clusters {
+			switch {
+			case worst < 0 || clusters[i].InterComm > clusters[worst].InterComm:
+				second = worst
+				worst = i
+			case second < 0 || clusters[i].InterComm > clusters[second].InterComm:
+				second = i
+			}
+		}
+		dominates := len(clusters) > 1 && worst >= 0 &&
+			clusters[worst].InterComm > ecfg.ClusterDropInterComm
+		if dominates && ecfg.ClusterDropRelative > 0 && second >= 0 {
+			dominates = clusters[worst].InterComm >
+				clusters[second].InterComm*ecfg.ClusterDropRelative
+		}
+		if dominates {
+			c := clusters[worst]
+			if s, ok := rk.sums[c.Cluster]; ok && n-s.Stats >= ecfg.MinNodes {
 				rec.Action = "remove-cluster"
-				rec.Detail = fmt.Sprintf("cluster %s best-pair bandwidth %.0f B/s vs %.0f B/s elsewhere: uplink insufficient, evacuating cluster",
-					culprit, bw, ref)
-				interComm := s.InterSum / float64(s.Stats)
-				rec.Removed = rk.evictCluster(rec, culprit, interComm, bw, wae, n)
+				rec.Detail = fmt.Sprintf("cluster %s inter-cluster overhead %.0f%% > %.0f%%: uplink bandwidth insufficient, evacuating cluster",
+					c.Cluster, c.InterComm*100, ecfg.ClusterDropInterComm*100)
+				rec.Removed = rk.evictCluster(rec, c.Cluster, c.InterComm, 0, health, n)
 				return rec.Removed > 0
 			}
 		}
 	}
 
-	// Fallback rule: exceptionally high inter-cluster overhead that
-	// clearly dominates the runner-up.
-	worst, second := -1, -1
-	for i := range clusters {
-		switch {
-		case worst < 0 || clusters[i].InterComm > clusters[worst].InterComm:
-			second = worst
-			worst = i
-		case second < 0 || clusters[i].InterComm > clusters[second].InterComm:
-			second = i
-		}
-	}
-	dominates := len(clusters) > 1 && worst >= 0 &&
-		clusters[worst].InterComm > ecfg.ClusterDropInterComm
-	if dominates && ecfg.ClusterDropRelative > 0 && second >= 0 {
-		dominates = clusters[worst].InterComm >
-			clusters[second].InterComm*ecfg.ClusterDropRelative
-	}
-	if dominates {
-		c := clusters[worst]
-		if s, ok := rk.sums[c.Cluster]; ok && n-s.Stats >= ecfg.MinNodes {
-			rec.Action = "remove-cluster"
-			rec.Detail = fmt.Sprintf("cluster %s inter-cluster overhead %.0f%% > %.0f%%: uplink bandwidth insufficient, evacuating cluster",
-				c.Cluster, c.InterComm*100, ecfg.ClusterDropInterComm*100)
-			rec.Removed = rk.evictCluster(rec, c.Cluster, c.InterComm, 0, wae, n)
-			return rec.Removed > 0
-		}
-	}
-
-	k := rk.eng.ShrinkCount(n, wae)
-	if k == 0 {
+	if cnt == 0 {
 		rec.Action = "none"
-		rec.Detail = fmt.Sprintf("WAE %.3f < EMin %.2f but already at MinNodes=%d", wae, ecfg.EMin, ecfg.MinNodes)
+		rec.Detail = rk.obj.Explain(v, health, n, 0)
 		return false
 	}
 	ranked := rk.rankProposals(order, maxSp, minKnown)
-	if len(ranked) > k {
-		ranked = ranked[:k]
+	if len(ranked) > cnt {
+		ranked = ranked[:cnt]
 	}
 	victims := make([]core.NodeID, 0, len(ranked))
 	for _, nb := range ranked {
 		victims = append(victims, nb.Node)
 	}
 	rec.Action = "remove-nodes"
-	rec.Detail = fmt.Sprintf("WAE %.3f < EMin %.2f on %d nodes: remove %d worst",
-		wae, ecfg.EMin, n, k)
-	rec.Removed = rk.evict(victims, "badness", true)
+	rec.Detail = rk.obj.Explain(v, health, n, cnt)
+	rec.Removed = rk.evict(victims, "badness", tr.BlacklistVictims || v == core.VerdictShed)
 	if rec.Removed > 0 {
-		rk.act.Annotate(fmt.Sprintf("removed %d worst nodes (WAE %.2f)", rec.Removed, wae))
+		rk.act.Annotate(fmt.Sprintf("removed %d worst nodes (WAE %.2f)", rec.Removed, health))
 		return true
 	}
 	return false
@@ -829,7 +915,7 @@ func (rk *RootKernel) rankClusters(order []core.ClusterID) []core.ClusterBadness
 			maxSpeed = s.SpeedSum
 		}
 	}
-	w := rk.eng.Config().Weights
+	w := rk.weights
 	out := make([]core.ClusterBadness, 0, len(order))
 	for _, c := range order {
 		s := rk.sums[c]
@@ -866,7 +952,7 @@ func (rk *RootKernel) rankProposals(order []core.ClusterID, maxSp, minKnown floa
 		worst = clusters[0].Cluster
 	}
 	var out []core.NodeBadness
-	w := rk.eng.Config().Weights
+	w := rk.weights
 	for _, c := range order {
 		s := rk.sums[c]
 		for _, p := range s.Proposals {

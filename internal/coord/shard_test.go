@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -40,6 +41,12 @@ func TestClusterSummaryWireParity(t *testing.T) {
 				MinBandwidth: 5e5,
 			}},
 		{Cluster: "A", Links: map[core.ClusterID]core.LinkSample{}},
+		{Cluster: "stream-src", Seq: 9, Time: 300, Nodes: 6, Stats: 6,
+			HasStream: true, StreamArrived: 120, StreamCompleted: 118,
+			StreamLatencySum: 94.5, StreamBacklog: 17},
+		{Cluster: "stream-edge", HasStream: true,
+			StreamArrived: math.MaxInt32, StreamCompleted: -1,
+			StreamLatencySum: math.Inf(1), StreamBacklog: 0},
 	})
 }
 
@@ -59,6 +66,8 @@ func TestClusterSummaryWireCorrupt(t *testing.T) {
 		Links:     map[core.ClusterID]core.LinkSample{"B": {Seconds: 1, Bytes: 2e6}},
 		Proposals: []NodeSample{{Node: "n0", Speed: 50, Idle: 0.5}},
 		Req:       ReqState{Nodes: []core.NodeID{"bad"}, MinBandwidth: 1e5},
+		HasStream: true, StreamArrived: 40, StreamCompleted: 39,
+		StreamLatencySum: 12.25, StreamBacklog: 3,
 	}
 	enc, err := sum.AppendWire(nil)
 	if err != nil {
@@ -156,6 +165,67 @@ func newParityHarness(t *testing.T, world map[core.NodeID]core.ClusterID) *parit
 		}
 	}
 	return h
+}
+
+// newStreamParityHarness is the harness under the streaming objective:
+// the flat kernel and the sharded root each own a *separate* StreamSLO
+// instance built from the same configuration, so the hysteresis state
+// machines run independently over identical inputs — shared state would
+// mask a divergence instead of exposing it.
+func newStreamParityHarness(t *testing.T, world map[core.NodeID]core.ClusterID, scfg core.StreamSLOConfig) *parityHarness {
+	t.Helper()
+	cp := func() map[core.NodeID]core.ClusterID {
+		m := make(map[core.NodeID]core.ClusterID, len(world))
+		for id, c := range world {
+			m[id] = c
+		}
+		return m
+	}
+	h := &parityHarness{
+		t:    t,
+		fact: &parityActuator{live: cp()},
+		ract: &parityActuator{live: cp()},
+		subs: make(map[core.ClusterID]*SubKernel),
+	}
+	fobj, err := core.NewStreamSLO(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.fk, err = New(Config{Objective: fobj}, h.fact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robj, err := core.NewStreamSLO(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.rk, err = NewRoot(Config{Objective: robj}, h.ract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range world {
+		if _, ok := h.subs[c]; !ok {
+			h.subs[c] = NewSubKernel(c, 0, scfg.Weights)
+		}
+	}
+	return h
+}
+
+// observeStream feeds one period's streaming partials to both
+// pipelines: each cluster's share lands at its sub-kernel, and the flat
+// kernel receives the same partials merged in sorted cluster order —
+// the exact order the root sums summary partials in, so the float
+// arithmetic cannot drift.
+func (h *parityHarness) observeStream(partials map[core.ClusterID]core.StreamObs) {
+	clusters := make([]core.ClusterID, 0, len(partials))
+	for c := range partials {
+		clusters = append(clusters, c)
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i] < clusters[j] })
+	for _, c := range clusters {
+		h.fk.ObserveStream(partials[c])
+		h.subs[c].ObserveStream(partials[c])
+	}
 }
 
 // period feeds one period's reports to both pipelines and runs both
@@ -429,6 +499,172 @@ func TestFlatShardedBandwidthCulpritParity(t *testing.T) {
 	h.finish()
 	if bw := h.rk.Requirements().MinBandwidth(); bw != 5e5 {
 		t.Errorf("learned bandwidth = %v, want the measured 5e5", bw)
+	}
+}
+
+// TestFlatShardedStreamSLOParity is ISSUE 9's parity pin for the second
+// objective: under the streaming latency SLO, the sharded tree (stream
+// partials travelling as ClusterSummary aggregates, decisions from the
+// root's merged observation) must reproduce the flat kernel's decision
+// sequence verbatim across the whole hysteresis state machine — the
+// proportional grow on a violation, the dead band, the calm streak, the
+// single sluggish shrink with badness-ranked victims, and the streak
+// restart after acting. All latency sums are chosen binary-exact so the
+// sorted-order partial summation cannot drift.
+func TestFlatShardedStreamSLOParity(t *testing.T) {
+	h := newStreamParityHarness(t, map[core.NodeID]core.ClusterID{
+		"a1": "A", "a2": "A", "b1": "B", "b2": "B",
+	}, core.DefaultStreamSLO(2)) // target 2s; HighRatio 1, LowRatio 0.5, ShrinkAfter 4
+
+	// Distinct badness per node so victim ranking has a unique order:
+	// b2 is slow and mostly idle — the unambiguous first victim.
+	reports := func(period int) []metrics.Report {
+		return []metrics.Report{
+			rep("a1", "A", period, 10, 0, 0, 100, 0),
+			rep("a2", "A", period, 20, 0, 0, 100, 0),
+			rep("b1", "B", period, 30, 0, 0, 100, 0),
+			rep("b2", "B", period, 80, 0, 0, 50, 0),
+		}
+	}
+	// Each cluster completes 10 items; per-item latency lat seconds.
+	partials := func(lat float64) map[core.ClusterID]core.StreamObs {
+		return map[core.ClusterID]core.StreamObs{
+			"A": {Arrived: 10, Completed: 10, LatencySum: 10 * lat},
+			"B": {Arrived: 10, Completed: 10, LatencySum: 10 * lat},
+		}
+	}
+
+	// Period 0: mean latency 4s, health 0.5 -> SLO violated, grow
+	// proportionally: round(4·(1/0.5 - 1)) = 4, within the 1x cap.
+	h.observeStream(partials(4))
+	f, s := h.period(0, reports(0))
+	h.compare(0, f, s)
+	if f.Action != "add" || f.Added != 4 {
+		t.Fatalf("period 0: want add 4, got %q +%d (%s)", f.Action, f.Added, f.Detail)
+	}
+	if !approx(f.WAE, 0.5) {
+		t.Fatalf("period 0: health %v, want 0.5", f.WAE)
+	}
+
+	// Period 1: mean latency exactly on target, health 1.0 — inside the
+	// hysteresis dead band: no violation, not calm either.
+	h.observeStream(partials(2))
+	f, s = h.period(1, reports(1))
+	h.compare(1, f, s)
+	if f.Action != "none" {
+		t.Fatalf("period 1: want none, got %q (%s)", f.Action, f.Detail)
+	}
+
+	// Periods 2-5: mean latency 0.5s, health 4 — calm. Three holds while
+	// the streak builds, then the fourth consecutive calm period releases
+	// exactly one node: the badness-worst b2, not blacklisted.
+	for pi := 2; pi <= 4; pi++ {
+		h.observeStream(partials(0.5))
+		f, s = h.period(pi, reports(pi))
+		h.compare(pi, f, s)
+		if f.Action != "none" {
+			t.Fatalf("period %d: want none while calm streak builds, got %q (%s)",
+				pi, f.Action, f.Detail)
+		}
+	}
+	h.observeStream(partials(0.5))
+	f, s = h.period(5, reports(5))
+	h.compare(5, f, s)
+	if f.Action != "remove-nodes" || f.Removed != 1 {
+		t.Fatalf("period 5: want remove-nodes 1, got %q -%d (%s)", f.Action, f.Removed, f.Detail)
+	}
+	if _, alive := h.fact.live["b2"]; alive {
+		t.Fatal("period 5: flat victim was not b2")
+	}
+
+	// Period 6: still calm, but the shrink restarted the streak — one
+	// calm period is not four, so both pipelines hold.
+	h.observeStream(map[core.ClusterID]core.StreamObs{
+		"A": {Arrived: 10, Completed: 10, LatencySum: 5},
+		"B": {Arrived: 5, Completed: 5, LatencySum: 2.5},
+	})
+	f, s = h.period(6, reports(6))
+	h.compare(6, f, s)
+	if f.Action != "none" {
+		t.Fatalf("period 6: want none after streak restart, got %q (%s)", f.Action, f.Detail)
+	}
+
+	h.finish()
+	if bl := h.rk.Requirements().BlacklistedNodes(); len(bl) != 0 {
+		t.Errorf("capacity shrink blacklisted nodes: %v", bl)
+	}
+}
+
+// TestFlatShardedStreamSLOShedParity pins the straggler-shed path across
+// the shard split. The parity actuator "grants" every provision but the
+// granted nodes never report, so the census never moves — exactly the
+// stuck-violation shape the shed guard watches for. Both pipelines must
+// flip from growing to shedding the same badness-worst nodes, with the
+// same shed wording, and blacklist them identically: a shed is a
+// judgement on the node, so the provisioner must not hand it back.
+func TestFlatShardedStreamSLOShedParity(t *testing.T) {
+	h := newStreamParityHarness(t, map[core.NodeID]core.ClusterID{
+		"a1": "A", "a2": "A", "b1": "B", "b2": "B",
+	}, core.DefaultStreamSLO(2)) // StuckAfter 3: the fourth stuck violation sheds
+
+	reports := func(period int) []metrics.Report {
+		return []metrics.Report{
+			rep("a1", "A", period, 10, 0, 0, 100, 0),
+			rep("a2", "A", period, 20, 0, 0, 100, 0),
+			rep("b1", "B", period, 30, 0, 0, 100, 0),
+			rep("b2", "B", period, 80, 0, 0, 50, 0),
+		}
+	}
+	// Mean latency 4s against a 2s target: health 0.5, every period.
+	partials := func() map[core.ClusterID]core.StreamObs {
+		return map[core.ClusterID]core.StreamObs{
+			"A": {Arrived: 10, Completed: 10, LatencySum: 40},
+			"B": {Arrived: 10, Completed: 10, LatencySum: 40},
+		}
+	}
+
+	// Periods 0-2: three judged violations with no census growth — the
+	// guard is still patient, so both pipelines keep asking for nodes.
+	for pi := 0; pi <= 2; pi++ {
+		h.observeStream(partials())
+		f, s := h.period(pi, reports(pi))
+		h.compare(pi, f, s)
+		if f.Action != "add" || f.Added != 4 {
+			t.Fatalf("period %d: want add 4 while the stuck streak builds, got %q +%d (%s)",
+				pi, f.Action, f.Added, f.Detail)
+		}
+	}
+
+	// Period 3: the fourth stuck violation gives up on growing and sheds
+	// the badness-worst node instead.
+	h.observeStream(partials())
+	f, s := h.period(3, reports(3))
+	h.compare(3, f, s)
+	if f.Action != "remove-nodes" || f.Removed != 1 {
+		t.Fatalf("period 3: want remove-nodes 1, got %q -%d (%s)", f.Action, f.Removed, f.Detail)
+	}
+	if !strings.Contains(f.Detail, "straggler") {
+		t.Fatalf("period 3: detail %q does not name the straggler shed", f.Detail)
+	}
+	if _, alive := h.fact.live["b2"]; alive {
+		t.Fatal("period 3: flat shed victim was not b2")
+	}
+
+	// Period 4: still stuck at the smaller census — shed the next-worst.
+	h.observeStream(partials())
+	f, s = h.period(4, reports(4))
+	h.compare(4, f, s)
+	if f.Action != "remove-nodes" || f.Removed != 1 {
+		t.Fatalf("period 4: want remove-nodes 1, got %q -%d (%s)", f.Action, f.Removed, f.Detail)
+	}
+	if _, alive := h.fact.live["b1"]; alive {
+		t.Fatal("period 4: flat shed victim was not b1")
+	}
+
+	h.finish()
+	bl := sortedNodes(h.rk.Requirements().BlacklistedNodes())
+	if fmt.Sprint(bl) != fmt.Sprint([]core.NodeID{"b1", "b2"}) {
+		t.Errorf("shed victims not blacklisted: got %v, want [b1 b2]", bl)
 	}
 }
 

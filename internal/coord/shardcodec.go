@@ -79,6 +79,15 @@ func (sum *ClusterSummary) AppendWire(b []byte) ([]byte, error) {
 	b = wirefmt.AppendF64(b, sum.InterSum)
 	b = wirefmt.AppendF64(b, sum.InterBWSum)
 	b = wirefmt.AppendVarint(b, int64(sum.InterBWCnt))
+	// Streaming partials ride behind a presence byte: most summaries
+	// carry no streaming workload and pay one byte for it.
+	b = wirefmt.AppendBool(b, sum.HasStream)
+	if sum.HasStream {
+		b = wirefmt.AppendVarint(b, int64(sum.StreamArrived))
+		b = wirefmt.AppendVarint(b, int64(sum.StreamCompleted))
+		b = wirefmt.AppendF64(b, sum.StreamLatencySum)
+		b = wirefmt.AppendVarint(b, int64(sum.StreamBacklog))
+	}
 	// Presence byte keeps a nil link map distinguishable from an empty
 	// one, exactly as gob keeps it.
 	b = wirefmt.AppendBool(b, sum.Links != nil)
@@ -124,6 +133,13 @@ func (sum *ClusterSummary) DecodeWire(r *wirefmt.Reader) error {
 	sum.InterSum = r.F64()
 	sum.InterBWSum = r.F64()
 	sum.InterBWCnt = int(r.Varint())
+	if r.Bool() {
+		sum.HasStream = true
+		sum.StreamArrived = int(r.Varint())
+		sum.StreamCompleted = int(r.Varint())
+		sum.StreamLatencySum = r.F64()
+		sum.StreamBacklog = int(r.Varint())
+	}
 	if r.Bool() {
 		n := r.Uvarint()
 		if r.Err() != nil {

@@ -25,6 +25,9 @@ func (s *Sim) coordinatorTick() {
 	for _, n := range s.order {
 		live = append(live, n.id)
 	}
+	if s.stream != nil {
+		s.kern.ObserveStream(s.takeStreamObs())
+	}
 	rec := s.kern.Tick(float64(s.k.Now()), live)
 	s.res.Periods = append(s.res.Periods, rec)
 	if s.p.Observe != nil {

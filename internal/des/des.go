@@ -108,6 +108,17 @@ type Params struct {
 	Spec workload.Spec
 	Seed int64
 
+	// Stream, when set, replaces the iterative divide-and-conquer
+	// workload with an open-loop streaming pipeline: Spec is ignored and
+	// the run ends when every item has left the last stage. Streaming
+	// runs adapt against the latency SLO (StreamSLO), not the WAE band.
+	Stream *workload.StreamSpec
+
+	// StreamSLO enables the adaptation coordinator with the streaming
+	// latency objective (core.StreamSLO). Mutually exclusive with Adapt:
+	// a run has exactly one objective.
+	StreamSLO *core.StreamSLOConfig
+
 	// Initial is the user-chosen starting allocation.
 	Initial []Alloc
 
@@ -232,7 +243,11 @@ func (p *Params) Validate() error {
 	if err := p.Topo.Validate(); err != nil {
 		return err
 	}
-	if err := p.Spec.Validate(); err != nil {
+	if p.Stream != nil {
+		if err := p.Stream.Validate(); err != nil {
+			return err
+		}
+	} else if err := p.Spec.Validate(); err != nil {
 		return err
 	}
 	if len(p.Initial) == 0 {
@@ -255,6 +270,20 @@ func (p *Params) Validate() error {
 	}
 	if p.Adapt != nil {
 		if err := p.Adapt.Validate(); err != nil {
+			return err
+		}
+		if !p.Mon.Enabled {
+			return fmt.Errorf("des: adaptation requires monitoring to be enabled")
+		}
+	}
+	if p.StreamSLO != nil {
+		if p.Adapt != nil {
+			return fmt.Errorf("des: Adapt and StreamSLO are mutually exclusive — a run has one objective")
+		}
+		if p.Stream == nil {
+			return fmt.Errorf("des: StreamSLO set without a streaming workload")
+		}
+		if err := p.StreamSLO.Validate(); err != nil {
 			return err
 		}
 		if !p.Mon.Enabled {
@@ -310,6 +339,20 @@ type Result struct {
 	// UsedClusters lists every cluster that hosted a participant at any
 	// point of the run, sorted.
 	UsedClusters []core.ClusterID
+
+	// Streaming-run figures of merit (zero for batch runs).
+	StreamCompleted  int     // items that left the last stage
+	StreamLatencySum float64 // summed end-to-end latency, seconds
+	StreamMaxLatency float64 // worst end-to-end latency, seconds
+}
+
+// MeanStreamLatency is the average end-to-end item latency of a
+// streaming run, in seconds.
+func (r *Result) MeanStreamLatency() float64 {
+	if r.StreamCompleted == 0 {
+		return 0
+	}
+	return r.StreamLatencySum / float64(r.StreamCompleted)
 }
 
 // MeanIterDuration averages iteration durations over [from, to).

@@ -12,11 +12,16 @@ import (
 // leaf, which fills the deque with the subtree's other halves — the
 // work-first execution order of Satin/Cilk), else go stealing.
 func (s *Sim) nodeIdle(n *simNode) {
-	if s.done || n.gone() || !n.joined || n.busy() || s.phase != phaseCompute {
+	if s.done || n.gone() || !n.joined || n.busy() ||
+		(s.phase != phaseCompute && s.phase != phaseStream) {
 		return
 	}
 	if n.benchPending {
 		s.startBench(n)
+		return
+	}
+	if s.phase == phaseStream {
+		s.streamDispatch(n)
 		return
 	}
 	if len(n.deque) > 0 {
@@ -283,7 +288,7 @@ func (s *Sim) startBench(n *simNode) {
 					return
 				}
 				n.benchPending = true
-				if !n.busy() && s.phase == phaseCompute {
+				if !n.busy() && (s.phase == phaseCompute || s.phase == phaseStream) {
 					s.nodeIdle(n)
 				}
 			})

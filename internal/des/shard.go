@@ -48,12 +48,7 @@ func (s *Sim) sharded() bool { return s.kern == nil }
 func (s *Sim) subFor(c core.ClusterID) *desSub {
 	sub, ok := s.subs[c]
 	if !ok {
-		var w core.BadnessWeights
-		if s.p.Adapt != nil {
-			w = s.p.Adapt.Weights
-		} else {
-			w = core.DefaultConfig().Weights
-		}
+		w := s.subWeights()
 		sub = &desSub{
 			cluster: c,
 			kern:    coord.NewSubKernel(c, s.p.ProposalCap, w),
@@ -61,6 +56,20 @@ func (s *Sim) subFor(c core.ClusterID) *desSub {
 		s.subs[c] = sub
 	}
 	return sub
+}
+
+// subWeights are the badness weights the sub-kernels rank their
+// eviction proposals with — from whichever objective the run adapts
+// under.
+func (s *Sim) subWeights() core.BadnessWeights {
+	switch {
+	case s.p.Adapt != nil:
+		return s.p.Adapt.Weights
+	case s.p.StreamSLO != nil:
+		return s.p.StreamSLO.Weights
+	default:
+		return core.DefaultConfig().Weights
+	}
 }
 
 // subOrder returns the sub-coordinators' clusters in deterministic
@@ -136,12 +145,34 @@ func (s *Sim) subsTick() {
 	for _, n := range s.order {
 		liveBy[n.cluster] = append(liveBy[n.cluster], n.id)
 	}
+	// Streaming runs: hand each cluster its local arrival/completion
+	// partial; the anchor cluster (where the source emits) additionally
+	// snapshots the global backlog. Partials addressed to a crashed sub
+	// are lost, exactly as reports to a crashed process are.
+	var streamParts map[core.ClusterID]core.StreamObs
+	if s.stream != nil {
+		streamParts = make(map[core.ClusterID]core.StreamObs, len(s.stream.obsBy)+1)
+		for c, o := range s.stream.obsBy {
+			streamParts[c] = *o
+		}
+		s.stream.obsBy = make(map[core.ClusterID]*core.StreamObs)
+		anchor := s.coordClst
+		if s.master != nil {
+			anchor = s.master.cluster
+		}
+		p := streamParts[anchor]
+		p.Backlog = s.stream.backlog()
+		streamParts[anchor] = p
+	}
 	now := float64(s.k.Now())
 	anyStarved := false
 	for _, c := range s.subOrder() {
 		sub := s.subs[c]
 		if sub.crashed {
 			continue
+		}
+		if part, ok := streamParts[c]; ok {
+			sub.kern.ObserveStream(part)
 		}
 		if sub.pendingAck {
 			// Last period's summary was never acknowledged.
@@ -236,13 +267,24 @@ func (s *Sim) electRoot(liveBy map[core.ClusterID][]core.NodeID) {
 // rootConfig is the kernel configuration both the initial root and any
 // elected successor run.
 func (s *Sim) rootConfig() coord.Config {
-	return coord.Config{
+	cfg := coord.Config{
 		Engine:              s.p.Adapt,
 		MonitorOnly:         s.p.MonitorOnly,
 		DisableBlacklist:    s.p.DisableBlacklist,
 		Opportunistic:       s.p.Opportunistic,
 		OpportunisticFactor: s.p.OpportunisticFactor,
 	}
+	if s.p.StreamSLO != nil {
+		// Each root instance (initial or elected successor) gets a fresh
+		// objective: StreamSLO carries hysteresis state that must not
+		// outlive the kernel it advised.
+		obj, err := core.NewStreamSLO(*s.p.StreamSLO)
+		if err != nil {
+			panic(err) // config was validated at startup
+		}
+		cfg.Objective = obj
+	}
+	return cfg
 }
 
 // rootTick is the sharded run's coordinator tick: consume the latest
@@ -318,13 +360,7 @@ func (s *Sim) crashSub(c core.ClusterID) {
 		if s.done {
 			return
 		}
-		var w core.BadnessWeights
-		if s.p.Adapt != nil {
-			w = s.p.Adapt.Weights
-		} else {
-			w = core.DefaultConfig().Weights
-		}
-		sub.kern = coord.NewSubKernel(c, s.p.ProposalCap, w)
+		sub.kern = coord.NewSubKernel(c, s.p.ProposalCap, s.subWeights())
 		sub.crashed = false
 		sub.missed = 0
 		sub.pendingAck = false

@@ -19,6 +19,7 @@ const (
 	phaseSeq      phase = iota // master runs the sequential part
 	phaseExchange              // nodes receive the iteration's data
 	phaseCompute               // work stealing over the task tree
+	phaseStream                // streaming runs: stage/queue pipeline
 	phaseDone
 )
 
@@ -44,6 +45,7 @@ type simNode struct {
 	deque []simTask
 
 	curWork float64      // work of the leaf being executed (0 = none)
+	curItem *streamItem  // stream item being serviced (stream runs)
 	curDone *vtime.Timer // completion event of the running leaf
 
 	benching     bool
@@ -112,7 +114,8 @@ type Sim struct {
 	iterStart   vtime.Time
 	outstanding int // tasks alive in the current iteration
 	exchWaiting int
-	parked      []simTask // requeue target when no master exists
+	parked      []simTask    // requeue target when no master exists
+	stream      *streamState // streaming-run state (nil for batch runs)
 
 	res     *Result
 	done    bool
@@ -182,7 +185,7 @@ func runReturningSim(p Params) (*Result, *Sim, error) {
 		inj := inj
 		s.k.At(vtime.Time(inj.At), func() { s.inject(inj) })
 	}
-	if p.Mon.Enabled && (p.Adapt != nil || p.MonitorOnly) {
+	if p.Mon.Enabled && (p.Adapt != nil || p.StreamSLO != nil || p.MonitorOnly) {
 		if s.sharded() {
 			// The subs summarize one second before the root consumes, so
 			// a summary (plus its ~ms of latency) reaches the root within
@@ -201,7 +204,11 @@ func runReturningSim(p Params) (*Result, *Sim, error) {
 		}
 	})
 
-	s.startIteration()
+	if p.Stream != nil {
+		s.startStream()
+	} else {
+		s.startIteration()
+	}
 	s.k.Run()
 
 	// Finalise accounting for nodes still alive.
@@ -209,7 +216,11 @@ func runReturningSim(p Params) (*Result, *Sim, error) {
 		s.finalizeNode(n)
 	}
 	s.res.FinalNodes = len(s.order)
-	s.res.Completed = !s.aborted && s.iter >= s.p.Spec.Iterations
+	if s.stream != nil {
+		s.res.Completed = !s.aborted && s.stream.finished
+	} else {
+		s.res.Completed = !s.aborted && s.iter >= s.p.Spec.Iterations
+	}
 	s.res.MinBandwidth = s.requirements().MinBandwidth()
 	s.res.BlacklistedClusters = s.requirements().BlacklistedClusters()
 	for c := range s.used {
@@ -311,7 +322,7 @@ func (s *Sim) addNode(ref sched.NodeRef, immediate bool) {
 				}
 			}
 		}
-		if s.phase == phaseCompute {
+		if s.phase == phaseCompute || s.phase == phaseStream {
 			s.nodeIdle(n)
 		}
 	}
@@ -427,6 +438,13 @@ func (s *Sim) leave(n *simNode) {
 		s.requeue(simTask{work: n.curWork})
 		n.curWork = 0
 	}
+	if it := n.curItem; it != nil {
+		// The item in service goes back to the head of its stage's queue
+		// (malleability protocol: state moves off gracefully). Its clock
+		// keeps running — departure still counts against the latency SLO.
+		n.curItem = nil
+		s.streamRequeue(it)
+	}
 	n.deque = nil
 	s.pool.Release(n.ref)
 	if wasExchanging {
@@ -460,14 +478,22 @@ func (s *Sim) crash(n *simNode) {
 		lost = append(lost, simTask{work: n.curWork})
 		n.curWork = 0
 	}
+	lostItem := n.curItem
+	n.curItem = nil
 	n.deque = nil
-	if len(lost) > 0 {
+	if len(lost) > 0 || lostItem != nil {
 		s.k.After(s.p.CrashDetect, func() {
 			if s.done {
 				return
 			}
 			for _, t := range lost {
 				s.requeue(t)
+			}
+			if lostItem != nil {
+				// Recomputed from the stage input after detection; the
+				// item's arrival clock never stops, so the fault shows up
+				// as a latency spike the SLO objective must recover from.
+				s.streamRequeue(lostItem)
 			}
 		})
 	}

@@ -320,7 +320,47 @@ func All() []Scenario {
 				return p
 			},
 		},
+		{
+			ID:     "10",
+			Name:   "streaming latency SLO (extension)",
+			Figure: "workload classes beyond the batch WAE band",
+			Description: "An open-loop 3-stage pipeline (4 items/s against a 5 s latency " +
+				"target) on 10 nodes, 6 of which are slowed 10x mid-stream. The latency-SLO " +
+				"objective grows the allocation until latency re-enters the target; without " +
+				"adaptation the deficit queues items behind the slowed nodes for the rest " +
+				"of the emission window.",
+			Seed:  42,
+			Build: buildStreaming,
+		},
 	}
+}
+
+// buildStreaming is scenario 10: the streaming workload class under an
+// injected node slowdown. Offered load is 6 speed-seconds/s (4 items/s
+// x 1.5 s/item) against 10 speed-1 nodes; the injection cuts effective
+// capacity to ~4.5 speed-seconds/s, so the open-loop source outruns the
+// pipeline unless the coordinator acts on the latency SLO.
+func buildStreaming(v Variant, seed int64) des.Params {
+	spec := workload.Pipeline3(4, 3000)
+	p := des.Params{
+		Topo:    topo.DAS2(),
+		Stream:  &spec,
+		Seed:    seed,
+		Initial: []des.Alloc{{Cluster: "fs0", Count: 10}},
+		Events: []des.Injection{
+			{At: 150, Kind: des.InjSetLoad, Cluster: "fs0", Count: 6, Load: 9,
+				Label: "6 nodes slowed 10x"},
+		},
+	}
+	switch v {
+	case Adaptive, MonitorOnly:
+		p.Mon = des.DefaultMonitor()
+		p.Mon.Period = 30
+		slo := core.DefaultStreamSLO(spec.TargetLatency)
+		p.StreamSLO = &slo
+		p.MonitorOnly = v == MonitorOnly
+	}
+	return p
 }
 
 // ByID finds a scenario.

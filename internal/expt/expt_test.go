@@ -8,8 +8,8 @@ import (
 
 func TestAllScenariosWellFormed(t *testing.T) {
 	scs := All()
-	if len(scs) != 12 {
-		t.Fatalf("got %d scenarios, want 12", len(scs))
+	if len(scs) != 13 {
+		t.Fatalf("got %d scenarios, want 13", len(scs))
 	}
 	seen := map[string]bool{}
 	for _, sc := range scs {
@@ -34,7 +34,9 @@ func TestAllScenariosWellFormed(t *testing.T) {
 					t.Errorf("scenario %s: no-adapt variant has monitoring on", sc.ID)
 				}
 			case Adaptive:
-				if p.Adapt == nil || !p.Mon.Enabled || p.MonitorOnly {
+				// A run has exactly one objective: the WAE band for batch
+				// scenarios, the latency SLO for streaming ones.
+				if (p.Adapt == nil) == (p.StreamSLO == nil) || !p.Mon.Enabled || p.MonitorOnly {
 					t.Errorf("scenario %s: adaptive variant misconfigured", sc.ID)
 				}
 			case MonitorOnly:
@@ -125,6 +127,34 @@ func TestAdaptationImprovesAllDisturbedScenarios(t *testing.T) {
 		if !out.Results[Adaptive].Completed {
 			t.Errorf("scenario %s: adaptive run incomplete", id)
 		}
+	}
+}
+
+// Scenario 10 end to end: under the mid-stream slowdown the latency-SLO
+// objective must bring mean item latency back inside the target while
+// the static run's open-loop backlog blows far past it — the
+// EXPERIMENTS.md streaming table.
+func TestScenario10StreamingSLO(t *testing.T) {
+	sc, _ := ByID("10")
+	out, err := Run(sc, NoAdapt, Adaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, ad := out.Results[NoAdapt], out.Results[Adaptive]
+	if !na.Completed || !ad.Completed {
+		t.Fatalf("scenario 10 runs incomplete: na=%v ad=%v", na.Completed, ad.Completed)
+	}
+	target := sc.Build(NoAdapt, sc.Seed).Stream.TargetLatency
+	t.Logf("mean latency: na=%.1fs ad=%.1fs (target %.0fs); runtimes na=%.0f ad=%.0f",
+		na.MeanStreamLatency(), ad.MeanStreamLatency(), target, na.Runtime, ad.Runtime)
+	if m := ad.MeanStreamLatency(); m > target {
+		t.Errorf("adaptive mean latency %.1fs misses the %.0fs target", m, target)
+	}
+	if m := na.MeanStreamLatency(); m < 4*target {
+		t.Errorf("static run too healthy to demonstrate the slowdown (mean %.1fs)", m)
+	}
+	if ad.PeakNodes <= 10 {
+		t.Errorf("SLO objective never grew past the initial 10 (peak %d)", ad.PeakNodes)
 	}
 }
 

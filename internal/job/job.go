@@ -78,6 +78,11 @@ type Result struct {
 	// NodeReports snapshots each node's final statistics, taken just
 	// before the job's deployment is torn down.
 	NodeReports []metrics.Report
+	// Stream figures (streaming jobs only): items that completed the
+	// pipeline and the end-to-end latency's mean and maximum in seconds.
+	StreamCompleted   int
+	StreamMeanLatency float64
+	StreamMaxLatency  float64
 	// Err is the failure or cancellation reason.
 	Err string
 }
@@ -255,6 +260,7 @@ func (j *Job) Status() JobStatus {
 	st := JobStatus{
 		ID:    j.ID,
 		App:   j.Spec.App,
+		Class: j.Spec.Class,
 		Size:  j.Spec.Size,
 		Iters: j.Spec.Iters,
 		State: j.state.String(),

@@ -152,8 +152,23 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 
 // SubmitJob is Submit with in-process callbacks attached.
 func (m *Manager) SubmitJob(spec Spec, hooks Hooks) (*Job, error) {
-	if _, _, err := BuildTask(spec.App, spec.Size); err != nil {
-		return nil, err
+	switch spec.Class {
+	case "", "batch":
+		if spec.Stream != nil {
+			return nil, fmt.Errorf("batch job carries a stream spec (submit with class=stream)")
+		}
+		if _, _, err := BuildTask(spec.App, spec.Size); err != nil {
+			return nil, err
+		}
+	case "stream":
+		if spec.Stream == nil {
+			return nil, fmt.Errorf("stream job needs a pipeline spec")
+		}
+		if err := spec.Stream.Validate(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown class %q (batch | stream)", spec.Class)
 	}
 	if spec.Iters == 0 {
 		spec.Iters = 1
@@ -193,8 +208,8 @@ func (m *Manager) SubmitJob(spec Spec, hooks Hooks) (*Job, error) {
 
 	obs.Default.Counter("job/submitted").Inc()
 	m.record(j, "job-submitted", map[string]any{
-		"app": spec.App, "size": spec.Size, "iters": spec.Iters,
-		"min_nodes": spec.MinNodes, "adapt": spec.Adapt,
+		"app": spec.App, "class": spec.Class, "size": spec.Size,
+		"iters": spec.Iters, "min_nodes": spec.MinNodes, "adapt": spec.Adapt,
 	})
 	m.wakeUp()
 	return j, nil
@@ -409,6 +424,12 @@ func (m *Manager) run(j *Job) {
 			// yields its surplus when other jobs starve.
 			Pressure: client.Pressure,
 		}
+		if j.Spec.Class == "stream" {
+			// Streaming jobs adapt to their latency SLO, not the WAE band;
+			// the window driver (runStream) feeds the observations.
+			slo := adapt.DefaultStreamSLO(j.Spec.Stream.TargetLatency)
+			cfg.StreamSLO = &slo
+		}
 		if rec := m.cfg.Recorder; rec != nil {
 			id := j.ID
 			cfg.Observer = func(pr adapt.PeriodRecord) {
@@ -431,31 +452,15 @@ func (m *Manager) run(j *Job) {
 		g.SetClusterLoad(satin.ClusterID(name), f)
 	}
 
-	task, check, _ := BuildTask(j.Spec.App, j.Spec.Size) // validated at submit
 	j.setState(Running)
-	for i := 0; i < j.Spec.Iters; i++ {
-		if j.cancelled() {
-			break
-		}
-		start := time.Now()
-		val, err := master.Run(task)
-		if err != nil {
-			// A closed grid (cancel, drain) surfaces here as a node-
-			// stopped error; fail() sorts cancel from genuine failure.
-			j.fail(fmt.Errorf("iteration %d: %w", i, err))
+	if j.Spec.Class == "stream" {
+		if err := m.runStream(j, g, master, coord); err != nil {
+			j.fail(err)
 			return
 		}
-		el := time.Since(start).Seconds()
-		j.addIteration(el)
-		j.setValue(val, check)
-		nodes := g.NodeCount()
-		j.obsNodes.Set(float64(nodes))
-		m.record(j, "iteration", map[string]any{
-			"i": i, "seconds": el, "nodes": nodes,
-		})
-		if j.hooks.OnIteration != nil {
-			j.hooks.OnIteration(i, el, nodes)
-		}
+	} else if err := m.runBatch(j, g, master); err != nil {
+		j.fail(err)
+		return
 	}
 	// Final snapshots for in-process callers, taken while the
 	// deployment is still alive.
@@ -478,6 +483,36 @@ func (m *Manager) run(j *Job) {
 		return
 	}
 	j.setState(Done)
+}
+
+// runBatch is the classic iterative loop: run the job's task Iters
+// times on the master, recording each iteration's wall time.
+func (m *Manager) runBatch(j *Job, g *satin.Grid, master *satin.Node) error {
+	task, check, _ := BuildTask(j.Spec.App, j.Spec.Size) // validated at submit
+	for i := 0; i < j.Spec.Iters; i++ {
+		if j.cancelled() {
+			break
+		}
+		start := time.Now()
+		val, err := master.Run(task)
+		if err != nil {
+			// A closed grid (cancel, drain) surfaces here as a node-
+			// stopped error; fail() sorts cancel from genuine failure.
+			return fmt.Errorf("iteration %d: %w", i, err)
+		}
+		el := time.Since(start).Seconds()
+		j.addIteration(el)
+		j.setValue(val, check)
+		nodes := g.NodeCount()
+		j.obsNodes.Set(float64(nodes))
+		m.record(j, "iteration", map[string]any{
+			"i": i, "seconds": el, "nodes": nodes,
+		})
+		if j.hooks.OnIteration != nil {
+			j.hooks.OnIteration(i, el, nodes)
+		}
+	}
+	return nil
 }
 
 // provision bids for the job's MinNodes, retrying as the shared pool

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/wirefmt"
 	"repro/internal/wirefmt/frametest"
+	"repro/internal/workload"
 )
 
 // TestWireParity is the ISSUE 7 golden suite for the job-service
@@ -25,6 +26,21 @@ func TestWireParity(t *testing.T) {
 			Shape:  map[string]float64{"c0": 1e6, "grappe-é": 0.5},
 			Load:   map[string]float64{},
 		}},
+		{Token: 8, Spec: Spec{
+			Class: "stream", Adapt: true, MinNodes: 4,
+			Stream: &workload.StreamSpec{
+				Name: "pipeline-π",
+				Stages: []workload.StreamStage{
+					{Name: "decode", WorkPerItem: 0.3, BytesPerItem: 256 << 10},
+					{Name: "encode", WorkPerItem: math.SmallestNonzeroFloat64},
+				},
+				RateHz: 4, Items: math.MaxInt32, TargetLatency: 5,
+			},
+		}},
+		{Token: 9, Spec: Spec{
+			Class:  "stream",
+			Stream: &workload.StreamSpec{}, // invalid, but the codec must not care
+		}},
 	})
 	frametest.Parity[SubmitReply, *SubmitReply](t, []SubmitReply{
 		{},
@@ -37,6 +53,7 @@ func TestWireParity(t *testing.T) {
 		{Token: 4, Jobs: []JobStatus{
 			{ID: "job-1", App: "tsp", Size: 12, Iters: 1, State: "running", Nodes: 5, Done: 0, Seconds: 1.5},
 			{ID: "job-2", App: "fib", State: "failed", Err: "boom"},
+			{ID: "job-3", Class: "stream", State: "running", Nodes: 6, Done: 40},
 		}, Err: ""},
 	})
 	frametest.Parity[CancelRequest, *CancelRequest](t, []CancelRequest{{}, {Token: 5, ID: "job-5"}})
@@ -60,6 +77,10 @@ func TestWireCorrupt(t *testing.T) {
 	}
 	frametest.Corrupt[SubmitRequest, *SubmitRequest](t, enc(&SubmitRequest{Token: 1, Spec: Spec{
 		App: "fib", Size: 30, Period: time.Second, Shape: map[string]float64{"c0": 1}, Load: map[string]float64{"c1": 2},
+	}}))
+	stream := workload.Pipeline3(4, 200)
+	frametest.Corrupt[SubmitRequest, *SubmitRequest](t, enc(&SubmitRequest{Token: 2, Spec: Spec{
+		Class: "stream", Stream: &stream,
 	}}))
 	frametest.Corrupt[StatusReply, *StatusReply](t, enc(&StatusReply{Token: 2, Jobs: []JobStatus{{ID: "j", App: "a", Seconds: 1}}}))
 	frametest.Corrupt[ResultReply, *ResultReply](t, enc(&ResultReply{Token: 3, ID: "j", Iterations: []float64{1, 2}}))

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/transport/wire"
+	"repro/internal/workload"
 )
 
 func init() {
@@ -63,6 +64,15 @@ type Spec struct {
 	// run starts; Load puts a competing CPU load on a cluster's nodes.
 	Shape map[string]float64
 	Load  map[string]float64
+	// Class selects the workload class: "batch" (default — iterative
+	// divide-and-conquer built from App/Size, adaptation keeps the WAE
+	// band) or "stream" (an open-loop pipeline described by Stream,
+	// adaptation keeps the latency SLO; App/Size/Iters are ignored).
+	Class string
+	// Stream is the pipeline description for Class == "stream" — the
+	// same spec the simulator's virtual-time model runs, so one
+	// experiment moves between satind and gridsim without translation.
+	Stream *workload.StreamSpec
 }
 
 // SubmitRequest asks the service to enqueue a job.
@@ -88,6 +98,7 @@ type StatusRequest struct {
 type JobStatus struct {
 	ID      string
 	App     string
+	Class   string // "" = batch
 	Size    int
 	Iters   int
 	State   string

@@ -1,0 +1,141 @@
+// The streaming workload class on the real runtime (ISSUE 9): the
+// same open-loop pipeline the simulator models in virtual time
+// (internal/des), executed as micro-batched windows of
+// apps.StreamWindow tasks. An emitter goroutine stamps items at
+// Stream.RateHz regardless of how far behind execution is; the driver
+// drains whatever has arrived into one window task per master.Run, so
+// backlog converts into queueing latency — exactly the signal the
+// latency-SLO objective adapts on.
+package job
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/adapt"
+	"repro/internal/apps"
+	"repro/satin"
+)
+
+// runStream drives one streaming job end to end. Each completed window
+// reports one StreamObs to the coordinator (arrivals, completions, the
+// window's summed end-to-end latency, and the backlog left behind);
+// with adaptation off the observations are simply dropped.
+func (m *Manager) runStream(j *Job, g *satin.Grid, master *satin.Node, coord *adapt.Coordinator) error {
+	spec := j.Spec.Stream
+	// The real runtime collapses a window's stages into one grain — once
+	// an item is at a worker there is no reason to ship it between
+	// stages — so per-item work is the stages' summed service demand.
+	itemWork := time.Duration(spec.ItemWork() * float64(time.Second))
+	interval := time.Duration(float64(time.Second) / spec.RateHz)
+
+	var (
+		mu      sync.Mutex
+		pending []time.Time // emission stamps of items awaiting a window
+	)
+	stopEmit := make(chan struct{})
+	var emitWG sync.WaitGroup
+	emitWG.Add(1)
+	go func() {
+		defer emitWG.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for n := 0; n < spec.Items; n++ {
+			mu.Lock()
+			pending = append(pending, time.Now())
+			mu.Unlock()
+			if n == spec.Items-1 {
+				return
+			}
+			select {
+			case <-tick.C:
+			case <-stopEmit:
+				return
+			case <-j.cancelCh:
+				return
+			}
+		}
+	}()
+	defer func() {
+		close(stopEmit)
+		emitWG.Wait()
+	}()
+
+	var (
+		done    int
+		latSum  float64
+		latMax  float64
+		windows int
+	)
+	for done < spec.Items && !j.cancelled() {
+		mu.Lock()
+		batch := pending
+		pending = nil
+		mu.Unlock()
+		if len(batch) == 0 {
+			select {
+			case <-j.cancelCh:
+			case <-time.After(interval / 4):
+			}
+			continue
+		}
+		val, err := master.Run(apps.StreamWindow{Items: len(batch), WorkPerItem: itemWork})
+		if err != nil {
+			return fmt.Errorf("window %d: %w", windows, err)
+		}
+		now := time.Now()
+		if n, ok := val.(int); !ok || n != len(batch) {
+			return fmt.Errorf("window %d: processed %v of %d items", windows, val, len(batch))
+		}
+		// An item's latency runs from its emission stamp to the end of
+		// its window: queueing behind earlier windows is the cost of
+		// falling behind the source, which is the figure of merit.
+		var wSum float64
+		for _, born := range batch {
+			lat := now.Sub(born).Seconds()
+			wSum += lat
+			if lat > latMax {
+				latMax = lat
+			}
+		}
+		done += len(batch)
+		latSum += wSum
+		windows++
+		j.addIteration(wSum / float64(len(batch))) // one entry per window: its mean latency
+		mu.Lock()
+		backlog := len(pending)
+		mu.Unlock()
+		if coord != nil {
+			coord.ObserveStream(adapt.StreamObs{
+				Arrived:    len(batch),
+				Completed:  len(batch),
+				LatencySum: wSum,
+				Backlog:    backlog,
+			})
+		}
+		nodes := g.NodeCount()
+		j.obsNodes.Set(float64(nodes))
+		m.record(j, "window", map[string]any{
+			"items": len(batch), "mean_latency": wSum / float64(len(batch)),
+			"backlog": backlog, "nodes": nodes,
+		})
+		if j.hooks.OnIteration != nil {
+			j.hooks.OnIteration(windows-1, wSum/float64(len(batch)), nodes)
+		}
+	}
+
+	mean := 0.0
+	if done > 0 {
+		mean = latSum / float64(done)
+	}
+	j.mu.Lock()
+	j.result.StreamCompleted = done
+	j.result.StreamMeanLatency = mean
+	j.result.StreamMaxLatency = latMax
+	j.mu.Unlock()
+	completed := done
+	j.setValue(fmt.Sprintf("%d/%d items, mean latency %.3fs", done, spec.Items, mean),
+		func(any) bool { return completed == spec.Items })
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/workload"
 	"repro/satin"
 )
 
@@ -66,6 +67,46 @@ func ParseKV(spec string, clusters []satin.ClusterSpec) (satin.ClusterID, float6
 		}
 	}
 	return "", 0, fmt.Errorf("unknown cluster %q in %q (have %s)", name, spec, clusterNames(clusters))
+}
+
+// ParseStages parses a "-stages" pipeline spec: comma-separated
+// name=work entries, work in seconds per item on an unloaded node,
+// optionally name=work/bytes with a per-item payload shipped into the
+// stage. It is the single mapping of the flag onto workload.StreamStage
+// for both satinrun and the satind client, so their validation can
+// never disagree.
+func ParseStages(spec string) ([]workload.StreamStage, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("empty stage spec")
+	}
+	var out []workload.StreamStage
+	for _, part := range strings.Split(spec, ",") {
+		name, rest, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("expected name=work in %q", part)
+		}
+		workStr, bytesStr, hasBytes := strings.Cut(rest, "/")
+		w, err := strconv.ParseFloat(workStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad work in %q: %v", part, err)
+		}
+		if w <= 0 {
+			return nil, fmt.Errorf("work in %q must be > 0", part)
+		}
+		st := workload.StreamStage{Name: name, WorkPerItem: w}
+		if hasBytes {
+			bv, err := strconv.ParseFloat(bytesStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad bytes in %q: %v", part, err)
+			}
+			if bv < 0 {
+				return nil, fmt.Errorf("bytes in %q must be >= 0", part)
+			}
+			st.BytesPerItem = bv
+		}
+		out = append(out, st)
+	}
+	return out, nil
 }
 
 func clusterNames(clusters []satin.ClusterSpec) string {

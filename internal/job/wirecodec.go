@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/wirefmt"
+	"repro/internal/workload"
 )
 
 // appendF64Map writes a string→float64 map in sorted key order, so a
@@ -58,6 +59,57 @@ func decodeF64Map(r *wirefmt.Reader) map[string]float64 {
 	return m
 }
 
+// appendStream writes an optional streaming-pipeline spec behind a
+// presence byte, stages in declaration order (order is meaning: the
+// pipeline runs front to back).
+func appendStream(b []byte, sp *workload.StreamSpec) []byte {
+	b = wirefmt.AppendBool(b, sp != nil)
+	if sp == nil {
+		return b
+	}
+	b = wirefmt.AppendString(b, sp.Name)
+	b = wirefmt.AppendUvarint(b, uint64(len(sp.Stages)))
+	for _, st := range sp.Stages {
+		b = wirefmt.AppendString(b, st.Name)
+		b = wirefmt.AppendF64(b, st.WorkPerItem)
+		b = wirefmt.AppendF64(b, st.BytesPerItem)
+	}
+	b = wirefmt.AppendF64(b, sp.RateHz)
+	b = wirefmt.AppendVarint(b, int64(sp.Items))
+	return wirefmt.AppendF64(b, sp.TargetLatency)
+}
+
+func decodeStream(r *wirefmt.Reader) *workload.StreamSpec {
+	if !r.Bool() {
+		return nil
+	}
+	sp := &workload.StreamSpec{}
+	sp.Name = r.String()
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return nil
+	}
+	if n > uint64(r.Remaining()) {
+		r.Fail("stage count exceeds frame")
+		return nil
+	}
+	if n > 0 {
+		sp.Stages = make([]workload.StreamStage, n)
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			sp.Stages[i].Name = r.String()
+			sp.Stages[i].WorkPerItem = r.F64()
+			sp.Stages[i].BytesPerItem = r.F64()
+		}
+	}
+	sp.RateHz = r.F64()
+	sp.Items = int(r.Varint())
+	sp.TargetLatency = r.F64()
+	if r.Err() != nil {
+		return nil
+	}
+	return sp
+}
+
 func appendSpec(b []byte, s *Spec) []byte {
 	b = wirefmt.AppendString(b, s.App)
 	b = wirefmt.AppendVarint(b, int64(s.Size))
@@ -68,7 +120,9 @@ func appendSpec(b []byte, s *Spec) []byte {
 	b = wirefmt.AppendBool(b, s.Adapt)
 	b = wirefmt.AppendVarint(b, int64(s.Period))
 	b = appendF64Map(b, s.Shape)
-	return appendF64Map(b, s.Load)
+	b = appendF64Map(b, s.Load)
+	b = wirefmt.AppendString(b, s.Class)
+	return appendStream(b, s.Stream)
 }
 
 func decodeSpec(r *wirefmt.Reader, s *Spec) {
@@ -82,11 +136,14 @@ func decodeSpec(r *wirefmt.Reader, s *Spec) {
 	s.Period = time.Duration(r.Varint())
 	s.Shape = decodeF64Map(r)
 	s.Load = decodeF64Map(r)
+	s.Class = r.String()
+	s.Stream = decodeStream(r)
 }
 
 func appendStatus(b []byte, st *JobStatus) []byte {
 	b = wirefmt.AppendString(b, st.ID)
 	b = wirefmt.AppendString(b, st.App)
+	b = wirefmt.AppendString(b, st.Class)
 	b = wirefmt.AppendVarint(b, int64(st.Size))
 	b = wirefmt.AppendVarint(b, int64(st.Iters))
 	b = wirefmt.AppendString(b, st.State)
@@ -99,6 +156,7 @@ func appendStatus(b []byte, st *JobStatus) []byte {
 func decodeStatus(r *wirefmt.Reader, st *JobStatus) {
 	st.ID = r.String()
 	st.App = r.String()
+	st.Class = r.String()
 	st.Size = int(r.Varint())
 	st.Iters = int(r.Varint())
 	st.State = r.String()
