@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify gridsim chaos bench bench-check fuzz-smoke satind-smoke
+.PHONY: build test vet race verify gridsim chaos bench bench-check fuzz-smoke satind-smoke replay-smoke
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,12 @@ fuzz-smoke:
 # metrics, drain with SIGTERM.
 satind-smoke:
 	./scripts/satind_smoke.sh
+
+# Durable-record smoke: gridsim with -record-db, then cmd/replay must
+# reproduce the live period log byte-for-byte from the store and
+# -compare must accept a faithful rerun.
+replay-smoke:
+	./scripts/replay_smoke.sh
 
 # Chaos harness: the full seeded scenario corpora (24 randomized batch
 # DES scenarios, 24 sharded-tree scenarios with coordinator kills, and

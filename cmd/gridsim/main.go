@@ -14,32 +14,40 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/expt"
 	"repro/internal/obs"
 	"repro/internal/record"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "all", "scenario id (1, 2a..2c, 3..7) or 'all'")
-		seed     = flag.Int64("seed", 42, "simulation seed")
-		csvDir   = flag.String("csv", "", "directory to write per-scenario iteration CSVs")
-		svgDir   = flag.String("svg", "", "directory to write per-scenario figure SVGs")
-		periods  = flag.Bool("periods", false, "print the adaptive coordinator's period log")
-		list     = flag.Bool("list", false, "list scenarios and exit")
-		obsAddr  = flag.String("obs-addr", "", "serve /metrics (Prometheus), /events (JSONL) and /debug/pprof on this address while scenarios run")
+		scenario  = flag.String("scenario", "all", "scenario id (1, 2a..2c, 3..7) or 'all'")
+		seed      = flag.Int64("seed", 42, "simulation seed")
+		csvDir    = flag.String("csv", "", "directory to write per-scenario iteration CSVs")
+		svgDir    = flag.String("svg", "", "directory to write per-scenario figure SVGs")
+		periods   = flag.Bool("periods", false, "print the adaptive coordinator's period log")
+		list      = flag.Bool("list", false, "list scenarios and exit")
+		obsAddr   = flag.String("obs-addr", "", "serve /metrics (Prometheus), /events (JSONL) and /debug/pprof on this address while scenarios run")
+		recordDB  = flag.String("record-db", "", "append the run's events/samples/decisions to this durable record store (replay with cmd/replay)")
+		recordRun = flag.String("record-run", "", "run ID for -record-db rows (default gridsim-<unixtime>)")
 	)
 	flag.Parse()
 
 	var rec *record.Recorder
-	if *obsAddr != "" {
+	if *obsAddr != "" || *recordDB != "" {
 		rec = record.New(8192, 1024)
+	}
+	if *obsAddr != "" {
 		srv, err := record.Serve(*obsAddr, obs.Default, rec, time.Second)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gridsim: obs endpoint: %v\n", err)
@@ -47,6 +55,43 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Printf("observability endpoint on http://%s\n", srv.Addr())
+	}
+
+	// The DES emits events stamped with virtual time; put the
+	// recorder's own clock — which stamps registry samples and ad-hoc
+	// Record calls — on that same axis, so /events and /samples (and
+	// everything a sink persists) can be joined post-hoc. The clock
+	// follows the latest coordinator tick of the running scenario.
+	var vnow atomic.Uint64
+	var decorate func(v expt.Variant, p *des.Params)
+	if rec != nil {
+		rec.SetClock(func() float64 { return math.Float64frombits(vnow.Load()) })
+		decorate = func(v expt.Variant, p *des.Params) {
+			if v != expt.Adaptive {
+				return // only the adaptive run is recorded below
+			}
+			prev := p.Observe
+			p.Observe = func(pr des.PeriodRecord, reqs *core.Requirements, perCluster map[core.ClusterID]int) {
+				vnow.Store(math.Float64bits(pr.Time))
+				if prev != nil {
+					prev(pr, reqs, perCluster)
+				}
+			}
+		}
+	}
+	if *recordDB != "" {
+		run := *recordRun
+		if run == "" {
+			run = fmt.Sprintf("gridsim-%d", time.Now().Unix())
+		}
+		db, err := store.Open(*recordDB, run, obs.Default)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: record store: %v\n", err)
+			os.Exit(1)
+		}
+		defer db.Close()
+		rec.SetSink(db)
+		fmt.Printf("recording to %s (run %q)\n", *recordDB, run)
 	}
 
 	if *list {
@@ -73,7 +118,7 @@ func main() {
 		sc.Seed = *seed
 		fmt.Printf("=== scenario %s: %s (%s)\n", sc.ID, sc.Name, sc.Figure)
 		fmt.Printf("    %s\n", sc.Description)
-		out, err := expt.Run(sc)
+		out, err := expt.RunWith(sc, decorate)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
 			os.Exit(1)

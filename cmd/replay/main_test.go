@@ -1,0 +1,153 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/coord"
+	"repro/internal/obs"
+	"repro/internal/record"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// trajectory is a realistic adaptive-run period log with awkward
+// floats — the shapes that must survive JSON round-tripping exactly.
+func trajectory(scale float64) []coord.PeriodRecord {
+	return []coord.PeriodRecord{
+		{Time: 30, WAE: 0.123456789 * scale, Nodes: 8, Stats: 8},
+		{Time: 60, WAE: 0.25 * scale, Nodes: 8, Stats: 8, Action: "add", Detail: "grow toward band", Added: 12},
+		{Time: 90.5, WAE: 0.61 * scale, Nodes: 20, Stats: 20},
+		{Time: 120, WAE: 0.5800000000000001 * scale, Nodes: 20, Stats: 20, Action: "evict-cluster", Detail: "fs2 throttled", Removed: 12},
+		{Time: 150, WAE: 0.66 * scale, Nodes: 8, Stats: 8},
+	}
+}
+
+// recordRun streams a trajectory through the real pipeline — recorder
+// with a store sink, exactly as the binaries wire it.
+func recordRun(t *testing.T, path, run string, prs []coord.PeriodRecord) {
+	t.Helper()
+	db, err := store.Open(path, run, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := record.New(1024, 64)
+	rec.SetSink(db)
+	for _, pr := range prs {
+		rec.RecordAt(pr.Time, "period", pr)
+		if pr.Action != "" {
+			rec.RecordAt(pr.Time, "decision", pr)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The acceptance bar: the replayed period log renders byte-identically
+// to the live trace rendering of the same records.
+func TestReplayByteIdenticalToLiveTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.db")
+	prs := trajectory(1)
+	recordRun(t, path, "live", prs)
+
+	var live strings.Builder
+	trace.WritePeriods(&live, prs)
+
+	l, err := store.ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed strings.Builder
+	if err := render(&replayed, l, "live", "", true); err != nil {
+		t.Fatal(err)
+	}
+	if live.String() != replayed.String() {
+		t.Fatalf("replayed period log diverges from live rendering:\n--- live\n%s--- replayed\n%s",
+			live.String(), replayed.String())
+	}
+
+	ds, err := decisionsOf(l, "live", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 || ds[0].Record.Action != "add" || ds[1].Record.Removed != 12 {
+		t.Fatalf("decision log = %+v", ds)
+	}
+}
+
+// Per-job reconstruction: a multi-job (satind-style) run keeps each
+// job's trajectory separable.
+func TestReplayPerJob(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.db")
+	db, err := store.Open(path, "svc", obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := record.New(1024, 64)
+	rec.SetSink(db)
+	rec.RecordJob("job-001", "period", coord.PeriodRecord{Time: 1, WAE: 0.5, Nodes: 4})
+	rec.RecordJob("job-002", "period", coord.PeriodRecord{Time: 1, WAE: 0.9, Nodes: 2})
+	rec.RecordJob("job-001", "decision", coord.PeriodRecord{Time: 2, Action: "add", Added: 2})
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := store.ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := periodsOf(l, "svc", "job-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != 1 || p1[0].WAE != 0.5 {
+		t.Fatalf("job-001 periods = %+v", p1)
+	}
+	ds, err := decisionsOf(l, "svc", "job-002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Fatalf("job-002 leaked job-001's decisions: %+v", ds)
+	}
+}
+
+// -compare must flag an injected regression (slower run, worse
+// health) and pass a faithful rerun.
+func TestCompareFlagsRegression(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.db")
+	good := trajectory(1)
+	recordRun(t, path, "base", good)
+	recordRun(t, path, "same", good)
+
+	// The injected regression: health collapses and the run drags on.
+	bad := trajectory(0.5)
+	bad = append(bad, coord.PeriodRecord{Time: 400, WAE: 0.2, Nodes: 8})
+	recordRun(t, path, "regressed", bad)
+
+	l, err := store.ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	regressed, err := compareRuns(&out, l, "base", "same", "", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("identical rerun flagged as regression:\n%s", out.String())
+	}
+	out.Reset()
+	regressed, err = compareRuns(&out, l, "base", "regressed", "", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("injected regression not flagged:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("missing REGRESSION verdict:\n%s", out.String())
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/sigdrain"
+	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/workload"
 	"repro/satin"
@@ -59,8 +60,10 @@ func daemon(args []string) {
 		period   = fs.Duration("period", 500*time.Millisecond, "default monitoring period")
 		patience = fs.Duration("patience", 5*time.Second, "provisioning patience before a job starts undersized")
 		drainTmo = fs.Duration("drain-timeout", 30*time.Second, "SIGTERM: how long to wait for running jobs")
-		obsAddr  = fs.String("obs-addr", "", "serve /metrics, /events and /debug/pprof on this address (:0 picks a port)")
-		seed     = fs.Int64("seed", 0, "reproducible job seeds (job n runs with seed+n)")
+		obsAddr   = fs.String("obs-addr", "", "serve /metrics, /events and /debug/pprof on this address (:0 picks a port)")
+		recordDB  = fs.String("record-db", "", "append events/samples/per-job decisions to this durable record store (replay with cmd/replay)")
+		recordRun = fs.String("record-run", "", "run ID for -record-db rows (default satind-<unixtime>)")
+		seed      = fs.Int64("seed", 0, "reproducible job seeds (job n runs with seed+n)")
 	)
 	fs.Parse(args)
 	if *clusters < 1 || *nodes < 1 {
@@ -69,14 +72,30 @@ func daemon(args []string) {
 	}
 	obs.Publish()
 	var rec *record.Recorder
-	if *obsAddr != "" {
+	var db *store.DB
+	if *obsAddr != "" || *recordDB != "" {
 		rec = record.New(4096, 1024)
+	}
+	if *obsAddr != "" {
 		srv, err := record.Serve(*obsAddr, obs.Default, rec, time.Second)
 		if err != nil {
 			log.Fatalf("satind: obs endpoint: %v", err)
 		}
 		defer srv.Close()
 		fmt.Printf("observability endpoint on http://%s (/metrics /events /samples /debug/pprof)\n", srv.Addr())
+	}
+	if *recordDB != "" {
+		run := *recordRun
+		if run == "" {
+			run = fmt.Sprintf("satind-%d", time.Now().Unix())
+		}
+		var err error
+		db, err = store.Open(*recordDB, run, obs.Default)
+		if err != nil {
+			log.Fatalf("satind: record store: %v", err)
+		}
+		rec.SetSink(db)
+		fmt.Printf("recording to %s (run %q)\n", *recordDB, run)
 	}
 
 	var specs []satin.ClusterSpec
@@ -111,9 +130,22 @@ func daemon(args []string) {
 		srv.Close()
 		hub.Close()
 		if rec != nil {
-			// Flush the event timeline before the process dies; /events
-			// is gone once the listener closes.
+			// Terminal snapshot first: a run shorter than one sample
+			// period would otherwise die with an empty sample timeline.
+			rec.Sample(obs.Default)
+			// Flush BOTH retained timelines before the process dies —
+			// /events and /samples are gone once the listener closes,
+			// and losing the sample series on shutdown was exactly the
+			// bug: the event log alone cannot reconstruct the metric
+			// trajectory.
 			_ = rec.WriteEventsJSONL(os.Stderr)
+			_ = rec.WriteSamplesJSONL(os.Stderr)
+		}
+		if db != nil {
+			// Drain the sink's queue to disk; Close is idempotent.
+			if err := db.Close(); err != nil {
+				log.Printf("satind: record store close: %v", err)
+			}
 		}
 		if cancelled > 0 {
 			log.Printf("satind: drained, %d job(s) cancelled", cancelled)

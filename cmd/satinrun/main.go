@@ -30,6 +30,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/sigdrain"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/satin"
@@ -53,21 +54,40 @@ func main() {
 		load     = flag.String("load", "", "competing CPU load on a cluster: fs1=3")
 		verbose  = flag.Bool("v", false, "print per-node statistics")
 		wireObs  = flag.Bool("wire-stats", false, "print the wire-layer frame/byte/error counters")
-		obsAddr  = flag.String("obs-addr", "", "serve /metrics (Prometheus), /events (JSONL) and /debug/pprof on this address (e.g. :9090; :0 picks a port)")
+		obsAddr   = flag.String("obs-addr", "", "serve /metrics (Prometheus), /events (JSONL) and /debug/pprof on this address (e.g. :9090; :0 picks a port)")
+		recordDB  = flag.String("record-db", "", "append the run's events/samples/decisions to this durable record store (replay with cmd/replay)")
+		recordRun = flag.String("record-run", "", "run ID for -record-db rows (default satinrun-<unixtime>)")
 	)
 	flag.Parse()
 	// Counters are also exported as the expvar "obs" for anything that
 	// scrapes this process.
 	obs.Publish()
 	var rec *record.Recorder
-	if *obsAddr != "" {
+	var db *store.DB
+	if *obsAddr != "" || *recordDB != "" {
 		rec = record.New(4096, 1024)
+	}
+	if *obsAddr != "" {
 		srv, err := record.Serve(*obsAddr, obs.Default, rec, time.Second)
 		if err != nil {
 			log.Fatalf("satinrun: obs endpoint: %v", err)
 		}
 		defer srv.Close()
 		fmt.Printf("observability endpoint on http://%s (/metrics /events /samples /debug/pprof)\n", srv.Addr())
+	}
+	if *recordDB != "" {
+		run := *recordRun
+		if run == "" {
+			run = fmt.Sprintf("satinrun-%d", time.Now().Unix())
+		}
+		var err error
+		db, err = store.Open(*recordDB, run, obs.Default)
+		if err != nil {
+			log.Fatalf("satinrun: record store: %v", err)
+		}
+		defer db.Close()
+		rec.SetSink(db)
+		fmt.Printf("recording to %s (run %q)\n", *recordDB, run)
 	}
 	if *clusters < 1 || *nodes < 1 || *iters < 1 {
 		fmt.Fprintln(os.Stderr, "satinrun: -clusters, -nodes and -iters must be >= 1")
@@ -183,7 +203,14 @@ func main() {
 		j.Cancel()
 		m.Drain(10 * time.Second)
 		if rec != nil {
+			// Terminal snapshot, then both timelines: the event log
+			// alone cannot reconstruct the metric trajectory.
+			rec.Sample(obs.Default)
 			_ = rec.WriteEventsJSONL(os.Stderr)
+			_ = rec.WriteSamplesJSONL(os.Stderr)
+		}
+		if db != nil {
+			_ = db.Close() // deferred Close won't run on the os.Exit path
 		}
 		return 130
 	})

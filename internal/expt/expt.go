@@ -68,12 +68,24 @@ func (o *Outcome) Overhead(v Variant) float64 {
 // Run executes the scenario in the requested variants (all three when
 // none are given).
 func Run(sc Scenario, variants ...Variant) (*Outcome, error) {
+	return RunWith(sc, nil, variants...)
+}
+
+// RunWith executes like Run but lets the caller decorate each
+// variant's simulator parameters just before the run — observability
+// hooks, recorders — without the scenario definitions knowing about
+// them (gridsim uses this to put the recorder's clock on the
+// simulator's virtual-time axis).
+func RunWith(sc Scenario, decorate func(v Variant, p *des.Params), variants ...Variant) (*Outcome, error) {
 	if len(variants) == 0 {
 		variants = []Variant{NoAdapt, Adaptive, MonitorOnly}
 	}
 	out := &Outcome{Scenario: sc, Results: make(map[Variant]*des.Result, len(variants))}
 	for _, v := range variants {
 		p := sc.Build(v, sc.Seed)
+		if decorate != nil {
+			decorate(v, &p)
+		}
 		res, err := des.Run(p)
 		if err != nil {
 			return nil, fmt.Errorf("expt: scenario %s variant %s: %w", sc.ID, v, err)

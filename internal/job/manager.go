@@ -298,11 +298,9 @@ func (m *Manager) record(j *Job, kind string, data map[string]any) {
 	if m.cfg.Recorder == nil {
 		return
 	}
-	if data == nil {
-		data = map[string]any{}
-	}
-	data["job"] = j.ID
-	m.cfg.Recorder.Record(kind, data)
+	// The job ID rides the event's own Job field so durable sinks can
+	// index per-job timelines without digging through payloads.
+	m.cfg.Recorder.RecordJob(j.ID, kind, data)
 }
 
 func (m *Manager) onState(j *Job, from, to State) {
@@ -433,8 +431,12 @@ func (m *Manager) run(j *Job) {
 		if rec := m.cfg.Recorder; rec != nil {
 			id := j.ID
 			cfg.Observer = func(pr adapt.PeriodRecord) {
+				// Every tick lands as the job's period trajectory (the
+				// replay tool reconstructs per-job health from these);
+				// actions additionally land in the decision log.
+				rec.RecordJob(id, "period", pr)
 				if pr.Action != "" && pr.Action != "none" {
-					rec.Record("decision", map[string]any{"job": id, "record": pr})
+					rec.RecordJob(id, "decision", pr)
 				}
 			}
 		}

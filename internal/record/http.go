@@ -1,6 +1,8 @@
 package record
 
 import (
+	"errors"
+	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -8,6 +10,12 @@ import (
 
 	"repro/internal/obs"
 )
+
+// headerTimeout bounds how long a client may take to send its request
+// headers before the connection is reclaimed, so one wedged scraper
+// cannot pin the endpoint's connections forever. A var so the
+// wedged-client test can shrink it.
+var headerTimeout = 5 * time.Second
 
 // Server is the observability endpoint both binaries can expose:
 //
@@ -51,8 +59,16 @@ func Serve(addr string, reg *obs.Registry, rec *Recorder, samplePeriod time.Dura
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s.srv = &http.Server{Handler: mux}
-	go s.srv.Serve(ln)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: headerTimeout}
+	go func() {
+		// Serve only returns on listener failure or Close; anything but
+		// the orderly-shutdown sentinel is counted and logged, not
+		// swallowed.
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			reg.Counter("record/serve_err").Inc()
+			log.Printf("record: serve %s: %v", ln.Addr(), err)
+		}
+	}()
 	go s.sampler(samplePeriod)
 	return s, nil
 }

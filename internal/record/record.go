@@ -26,10 +26,12 @@ import (
 
 // Event is one structured occurrence on the run's time axis. Data is
 // marshalled as-is into the JSONL export; keep it a plain struct or
-// map.
+// map. Job, when set, attributes the event to one job of the
+// multi-job service so durable sinks can index per-job decision logs.
 type Event struct {
 	Time float64 `json:"t"`
 	Kind string  `json:"kind"`
+	Job  string  `json:"job,omitempty"`
 	Data any     `json:"data,omitempty"`
 }
 
@@ -40,15 +42,29 @@ type Sample struct {
 	Gauges   map[string]float64 `json:"gauges,omitempty"`
 }
 
+// Sink receives every event and sample the recorder retains, as it
+// arrives — the seam durable backends (internal/store) implement while
+// the ring stays the bounded in-memory view. Sink methods are called
+// from the recorder's producer paths (coordinator observer callbacks,
+// the background sampler) and therefore must never block: enqueue or
+// drop-and-count, never wait.
+type Sink interface {
+	PutEvent(Event)
+	PutSample(Sample)
+}
+
 // Recorder keeps bounded rings of events and samples. Safe for
 // concurrent use.
 type Recorder struct {
 	start time.Time
 
-	mu            sync.Mutex
-	events        ring[Event]
-	samples       ring[Sample]
-	eventsDropped uint64
+	mu             sync.Mutex
+	clock          func() float64 // nil = wall seconds since start
+	sink           Sink
+	events         ring[Event]
+	samples        ring[Sample]
+	eventsDropped  uint64
+	samplesDropped uint64
 }
 
 // New builds a recorder holding at most eventCap events and sampleCap
@@ -62,8 +78,36 @@ func New(eventCap, sampleCap int) *Recorder {
 	}
 }
 
-// Now returns the recorder's clock: seconds since New.
-func (r *Recorder) Now() float64 { return time.Since(r.start).Seconds() }
+// SetClock replaces the recorder's clock — the timestamp source for
+// Record, RecordJob and Sample — so a driver living on virtual time
+// (the DES behind gridsim) can put events AND samples on one shared
+// axis instead of mixing virtual event stamps with wall-clock sample
+// stamps. nil restores the default wall clock (seconds since New).
+func (r *Recorder) SetClock(clock func() float64) {
+	r.mu.Lock()
+	r.clock = clock
+	r.mu.Unlock()
+}
+
+// Now returns the recorder's clock: seconds since New, unless SetClock
+// installed another time source.
+func (r *Recorder) Now() float64 {
+	r.mu.Lock()
+	clock := r.clock
+	r.mu.Unlock()
+	if clock != nil {
+		return clock()
+	}
+	return time.Since(r.start).Seconds()
+}
+
+// SetSink attaches a durable sink: every subsequent event and sample
+// is forwarded to it (in addition to the ring). nil detaches.
+func (r *Recorder) SetSink(s Sink) {
+	r.mu.Lock()
+	r.sink = s
+	r.mu.Unlock()
+}
 
 // Record appends an event stamped with the recorder's own clock.
 func (r *Recorder) Record(kind string, data any) {
@@ -73,20 +117,41 @@ func (r *Recorder) Record(kind string, data any) {
 // RecordAt appends an event with an explicit timestamp (e.g. a
 // simulator's virtual time or a coordinator's period time).
 func (r *Recorder) RecordAt(t float64, kind string, data any) {
+	r.push(Event{Time: t, Kind: kind, Data: data})
+}
+
+// RecordJob appends an event attributed to one job of the multi-job
+// service, stamped with the recorder's clock.
+func (r *Recorder) RecordJob(job, kind string, data any) {
+	r.push(Event{Time: r.Now(), Kind: kind, Job: job, Data: data})
+}
+
+func (r *Recorder) push(ev Event) {
 	r.mu.Lock()
 	if r.events.full() {
 		r.eventsDropped++
 	}
-	r.events.push(Event{Time: t, Kind: kind, Data: data})
+	r.events.push(ev)
+	sink := r.sink
 	r.mu.Unlock()
+	if sink != nil {
+		sink.PutEvent(ev)
+	}
 }
 
 // Sample snapshots reg into the sample ring.
 func (r *Recorder) Sample(reg *obs.Registry) {
 	s := Sample{Time: r.Now(), Counters: reg.Snapshot(), Gauges: reg.Gauges()}
 	r.mu.Lock()
+	if r.samples.full() {
+		r.samplesDropped++
+	}
 	r.samples.push(s)
+	sink := r.sink
 	r.mu.Unlock()
+	if sink != nil {
+		sink.PutSample(s)
+	}
 }
 
 // Events returns the retained events, oldest first.
@@ -111,6 +176,14 @@ func (r *Recorder) EventsDropped() uint64 {
 	return r.eventsDropped
 }
 
+// SamplesDropped reports how many samples were overwritten by ring
+// wraparound.
+func (r *Recorder) SamplesDropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.samplesDropped
+}
+
 // WriteEventsJSONL writes the retained events as one JSON object per
 // line. When wraparound has dropped events, the first line says so.
 func (r *Recorder) WriteEventsJSONL(w io.Writer) error {
@@ -133,9 +206,20 @@ func (r *Recorder) WriteEventsJSONL(w io.Writer) error {
 }
 
 // WriteSamplesJSONL writes the retained registry samples as JSONL.
+// As with events, wraparound drops are announced on the first line —
+// the drop is counted, never silent.
 func (r *Recorder) WriteSamplesJSONL(w io.Writer) error {
+	r.mu.Lock()
+	samples := r.samples.all()
+	dropped := r.samplesDropped
+	r.mu.Unlock()
+	if dropped > 0 {
+		if _, err := fmt.Fprintf(w, `{"kind":"dropped","count":%d}`+"\n", dropped); err != nil {
+			return err
+		}
+	}
 	enc := json.NewEncoder(w)
-	for _, s := range r.Samples() {
+	for _, s := range samples {
 		if err := enc.Encode(s); err != nil {
 			return err
 		}

@@ -1,0 +1,301 @@
+// Package store is the durable backend behind internal/record's Sink
+// seam: a single-file, append-only datastore holding a run's events,
+// registry samples and per-job decision records, so a run's observed
+// trajectory survives the process that produced it and can be
+// replayed or compared against later runs (cmd/replay).
+//
+// It follows the embedded-datastore idiom: one writer goroutine owns
+// the file and is fed through a bounded queue that NEVER blocks the
+// producer — a full queue is a counted drop, not a stalled
+// coordinator callback; typed query helpers per table form the read
+// side; and the store carries obs telemetry on itself (rows written,
+// queue depth, dropped rows, write errors, flush latency).
+//
+// On-disk format ("recdb/1"): one JSON object per line — a header row
+// naming the format, a run-open row per Open, then one row per record
+// with its table (event | sample | decision), run, timestamp,
+// optional kind/job, and the raw payload. The format is deliberately
+// dumb: it survives torn final writes (the reader stops at the first
+// undecodable line and reports how many bytes it skipped), it appends
+// across process restarts so one file accumulates many runs for
+// cross-run regression comparison, and any JSONL tooling (jq,
+// `sqlite3 .import`, a spreadsheet) can consume it directly. A real
+// SQLite backend would slot behind the same record.Sink interface and
+// query helpers, but this build is dependency-free by policy, so the
+// helpers here are the query layer.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/record"
+)
+
+// Table names. Events carrying an adaptation decision are routed to
+// their own table so the per-job decision log is a first-class query.
+const (
+	TableEvent    = "event"
+	TableSample   = "sample"
+	TableDecision = "decision"
+)
+
+// formatHeader is the first line of every new file.
+const formatHeader = "recdb/1"
+
+// Row is one persisted record — the store's wire-and-disk schema.
+type Row struct {
+	Format string          `json:"format,omitempty"` // header row only
+	Run    string          `json:"run,omitempty"`
+	Table  string          `json:"table,omitempty"`
+	Time   float64         `json:"t"`
+	Kind   string          `json:"kind,omitempty"`
+	Job    string          `json:"job,omitempty"`
+	Data   json.RawMessage `json:"data,omitempty"`
+}
+
+// pending defers JSON marshalling to the writer goroutine so the
+// producer-side Put path stays allocation-bounded.
+type pending struct {
+	table string
+	t     float64
+	kind  string
+	job   string
+	data  any
+}
+
+// Options tunes a store.
+type Options struct {
+	// QueueSize bounds the writer queue (default 4096). Puts beyond a
+	// full queue are dropped and counted, never blocked on.
+	QueueSize int
+}
+
+// DB is one open, append-mode store. Put* methods are safe for
+// concurrent use and never block; Close drains the queue, flushes and
+// syncs the file.
+type DB struct {
+	path string
+	run  string
+	f    *os.File
+	w    *bufio.Writer
+
+	queue chan pending
+	stop  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+
+	closeMu  sync.Mutex
+	closeErr error
+
+	rows     *obs.Counter
+	dropped  *obs.Counter
+	writeErr *obs.Counter
+	depth    *obs.Gauge
+	flushLat *obs.Histogram
+}
+
+// Open appends to (or creates) the store at path and opens a run named
+// run (empty = a UTC timestamp). reg receives the store's telemetry:
+// store/rows_written, store/dropped_rows, store/write_err counters,
+// the store/queue_depth gauge and the store/flush_latency histogram.
+func Open(path, run string, reg *obs.Registry, opts ...Options) (*DB, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 4096
+	}
+	if run == "" {
+		run = time.Now().UTC().Format("20060102-150405")
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	db := &DB{
+		path:     path,
+		run:      run,
+		f:        f,
+		w:        bufio.NewWriter(f),
+		queue:    make(chan pending, o.QueueSize),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		rows:     reg.Counter("store/rows_written"),
+		dropped:  reg.Counter("store/dropped_rows"),
+		writeErr: reg.Counter("store/write_err"),
+		depth:    reg.Gauge("store/queue_depth"),
+		flushLat: reg.Histogram("store/flush_latency", obs.LatencyBuckets),
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if st.Size() == 0 {
+		if err := db.writeRow(Row{Format: formatHeader}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	// The run-open row anchors the run's virtual/relative time axis to
+	// a wall-clock instant, for humans listing runs later.
+	if err := db.writeRow(Row{
+		Run: run, Table: "run", Kind: "open",
+		Data: json.RawMessage(fmt.Sprintf(`{"started":%q}`, time.Now().UTC().Format(time.RFC3339))),
+	}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := db.flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	go db.writer()
+	return db, nil
+}
+
+// Run returns the run ID rows are written under.
+func (db *DB) Run() string { return db.run }
+
+// Path returns the file backing the store.
+func (db *DB) Path() string { return db.path }
+
+// PutEvent implements record.Sink: events stream into the event table,
+// adaptation decisions into their own. Never blocks; a full queue is
+// a counted drop.
+func (db *DB) PutEvent(e record.Event) {
+	table := TableEvent
+	if e.Kind == "decision" {
+		table = TableDecision
+	}
+	db.put(pending{table: table, t: e.Time, kind: e.Kind, job: e.Job, data: e.Data})
+}
+
+// PutSample implements record.Sink for registry snapshots.
+func (db *DB) PutSample(s record.Sample) {
+	db.put(pending{table: TableSample, t: s.Time, data: sampleData{s.Counters, s.Gauges}})
+}
+
+// sampleData is the persisted payload of one registry sample.
+type sampleData struct {
+	Counters map[string]uint64  `json:"counters,omitempty"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+}
+
+func (db *DB) put(p pending) {
+	select {
+	case db.queue <- p:
+		db.depth.Set(float64(len(db.queue)))
+	default:
+		db.dropped.Inc()
+	}
+}
+
+// Close drains whatever the queue holds, flushes, syncs and closes
+// the file. Idempotent; safe to call from both a signal-drain path
+// and a deferred natural exit.
+func (db *DB) Close() error {
+	db.once.Do(func() { close(db.stop) })
+	<-db.done
+	db.closeMu.Lock()
+	defer db.closeMu.Unlock()
+	return db.closeErr
+}
+
+// writer is the single goroutine that owns the file: it drains the
+// queue in batches, marshals off the producers' path, and flushes
+// once per batch with the flush latency observed.
+func (db *DB) writer() {
+	defer close(db.done)
+	for {
+		select {
+		case p := <-db.queue:
+			db.writeBatch(p)
+		case <-db.stop:
+			for {
+				select {
+				case p := <-db.queue:
+					db.writeBatch(p)
+				default:
+					db.closeMu.Lock()
+					if err := db.flush(); err != nil {
+						db.closeErr = err
+					}
+					if err := db.f.Close(); err != nil && db.closeErr == nil {
+						db.closeErr = err
+					}
+					db.closeMu.Unlock()
+					return
+				}
+			}
+		}
+	}
+}
+
+// writeBatch writes first plus everything currently queued (bounded),
+// then flushes once.
+func (db *DB) writeBatch(first pending) {
+	start := time.Now()
+	db.writePending(first)
+drain:
+	for i := 0; i < cap(db.queue); i++ {
+		select {
+		case p := <-db.queue:
+			db.writePending(p)
+		default:
+			break drain
+		}
+	}
+	if err := db.flush(); err != nil {
+		db.writeErr.Inc()
+	}
+	db.depth.Set(float64(len(db.queue)))
+	db.flushLat.Observe(time.Since(start).Seconds())
+}
+
+func (db *DB) writePending(p pending) {
+	row := Row{Run: db.run, Table: p.table, Time: p.t, Kind: p.kind, Job: p.job}
+	if p.data != nil {
+		raw, err := json.Marshal(p.data)
+		if err != nil {
+			// The row still lands (time axis intact); the unmarshalable
+			// payload is counted, never silently vanished.
+			db.writeErr.Inc()
+		} else {
+			row.Data = raw
+		}
+	}
+	if err := db.writeRow(row); err != nil {
+		db.writeErr.Inc()
+		return
+	}
+	db.rows.Inc()
+}
+
+func (db *DB) writeRow(row Row) error {
+	b, err := json.Marshal(row)
+	if err != nil {
+		return err
+	}
+	if _, err := db.w.Write(b); err != nil {
+		return err
+	}
+	return db.w.WriteByte('\n')
+}
+
+func (db *DB) flush() error {
+	if err := db.w.Flush(); err != nil {
+		return err
+	}
+	return db.f.Sync()
+}

@@ -125,6 +125,37 @@ func WritePeriods(w io.Writer, periods []coord.PeriodRecord) {
 	}
 }
 
+// Decision is one adaptation action on a run's time axis, replayed
+// from a recorded event stream — the per-job decision-log entry the
+// durable store (internal/store) keeps and cmd/replay renders.
+type Decision struct {
+	Time   float64
+	Job    string // "" for single-job drivers (gridsim, satinrun)
+	Record coord.PeriodRecord
+}
+
+// WriteDecisions renders a decision log: every adaptation action with
+// its job attribution, action, node delta and detail. The multi-job
+// sibling of WritePeriods.
+func WriteDecisions(w io.Writer, ds []Decision) {
+	fmt.Fprintln(w, "time_s  job         action          delta  detail")
+	for _, d := range ds {
+		job := d.Job
+		if job == "" {
+			job = "-"
+		}
+		delta := ""
+		if d.Record.Added > 0 {
+			delta = fmt.Sprintf("+%d", d.Record.Added)
+		}
+		if d.Record.Removed > 0 {
+			delta += fmt.Sprintf("-%d", d.Record.Removed)
+		}
+		fmt.Fprintf(w, "%6.0f  %-10s  %-14s  %5s  %s\n",
+			d.Time, job, d.Record.Action, delta, d.Record.Detail)
+	}
+}
+
 // WriteAnnotations lists the scenario's injected events and the
 // coordinator's reactions on the time axis.
 func WriteAnnotations(w io.Writer, anns []coord.Annotation) {

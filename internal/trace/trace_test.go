@@ -133,3 +133,22 @@ func TestWriteIterationsSVG(t *testing.T) {
 		t.Error("empty-result SVG malformed")
 	}
 }
+
+func TestWriteDecisions(t *testing.T) {
+	var sb strings.Builder
+	WriteDecisions(&sb, []Decision{
+		{Time: 50, Job: "job-001", Record: coord.PeriodRecord{Action: "add", Added: 2, Detail: "grow to band"}},
+		{Time: 120, Record: coord.PeriodRecord{Action: "evict-cluster", Removed: 12, Detail: "fs2 throttled"}},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "time_s  job         action") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "job-001") || !strings.Contains(out, "+2") {
+		t.Errorf("job decision wrong:\n%s", out)
+	}
+	// Jobless drivers render "-" in the job column.
+	if !strings.Contains(out, "-           evict-cluster") || !strings.Contains(out, "-12") {
+		t.Errorf("jobless decision wrong:\n%s", out)
+	}
+}

@@ -2,26 +2,33 @@
 # End-to-end smoke of the multi-job grid service: start satind, submit
 # two jobs concurrently through the client, assert both results come
 # back correct and the observability endpoint exposes per-job
-# counters, then drain the daemon with SIGTERM.
+# counters, then drain the daemon with SIGTERM — checking the drain
+# flushes BOTH the event and sample timelines and that the durable
+# record store replays the adaptive job's trajectory.
 set -euo pipefail
 
 ADDR=127.0.0.1:17711
 OBS=127.0.0.1:17712
 BIN=${BIN:-/tmp/satind-smoke}
 LOG=${LOG:-/tmp/satind-smoke.log}
+DB=${DB:-/tmp/satind-smoke.db}
 
 go build -o "$BIN" ./cmd/satind
+rm -f "$DB"
 
-"$BIN" -addr "$ADDR" -clusters 2 -nodes 3 -obs-addr "$OBS" > "$LOG" 2>&1 &
+"$BIN" -addr "$ADDR" -clusters 2 -nodes 3 -obs-addr "$OBS" \
+  -record-db "$DB" -record-run smoke > "$LOG" 2>&1 &
 DAEMON=$!
 trap 'kill -9 $DAEMON 2>/dev/null || true' EXIT
 
-# Wait for the daemon's listeners; the wire handshake then confirms
-# the control route end to end.
+# Wait for the daemon's listeners; the hub port comes up last (after
+# the obs endpoint and the record store open), so waiting on it covers
+# all three.
 for i in $(seq 1 50); do
-  curl -fsS "http://$OBS/metrics" > /dev/null 2>&1 && break
+  timeout 1 bash -c "exec 3<>/dev/tcp/${ADDR%:*}/${ADDR#*:}" 2>/dev/null && break
   sleep 0.2
 done
+curl -fsS "http://$OBS/metrics" > /dev/null
 
 J1=$("$BIN" submit -addr "$ADDR" -app fib -size 24 -iters 2 -min-nodes 3 -adapt)
 J2=$("$BIN" submit -addr "$ADDR" -app nqueens -size 9)
@@ -52,4 +59,19 @@ if kill -0 $DAEMON 2>/dev/null; then
   exit 1
 fi
 trap - EXIT
+
+# The SIGTERM drain must flush BOTH timelines: event lines (kind) and
+# sample lines (counters snapshots) — losing the sample series on
+# shutdown was a real bug.
+grep -q '"kind":"job-state"' "$LOG"
+grep -q '"counters"' "$LOG"
+
+# Durable store: the adaptive job's trajectory must replay from disk
+# after the daemon is gone.
+go build -o /tmp/replay-smoke-bin ./cmd/replay
+/tmp/replay-smoke-bin -db "$DB" | grep -q smoke
+/tmp/replay-smoke-bin -db "$DB" -run smoke -job "$J1" -periods > /tmp/satind-replayed.txt
+grep -q '^time_s' /tmp/satind-replayed.txt
+test "$(wc -l < /tmp/satind-replayed.txt)" -ge 2   # header + >=1 period
+echo "replayed $J1: $(($(wc -l < /tmp/satind-replayed.txt) - 1)) periods from $DB"
 echo "satind smoke ok"
